@@ -1,0 +1,93 @@
+#include "common.hh"
+
+#include "support/diag.hh"
+#include "support/stats.hh"
+
+namespace swp::benchutil
+{
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Ideal: return "ideal (infinite registers)";
+      case Variant::MaxLt: return "Max(LT)";
+      case Variant::MaxLtTraf: return "Max(LT/Traf)";
+      case Variant::MaxLtTrafMulti: return "Max(LT/Traf)+multiple";
+      case Variant::MaxLtTrafMultiLastIi:
+        return "Max(LT/Traf)+multiple+lastII";
+      case Variant::IncreaseIi: return "increase-II";
+      case Variant::BestOfAll: return "best-of-all";
+    }
+    SWP_PANIC("unknown variant ", int(v));
+}
+
+PipelineResult
+runVariant(const Ddg &g, const Machine &m, int registers, Variant v)
+{
+    PipelinerOptions opts;
+    opts.registers = registers;
+    switch (v) {
+      case Variant::Ideal:
+        return pipelineIdeal(g, m);
+      case Variant::MaxLt:
+        opts.heuristic = SpillHeuristic::MaxLT;
+        return pipelineLoop(g, m, Strategy::Spill, opts);
+      case Variant::MaxLtTraf:
+        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
+        return pipelineLoop(g, m, Strategy::Spill, opts);
+      case Variant::MaxLtTrafMulti:
+        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
+        opts.multiSelect = true;
+        return pipelineLoop(g, m, Strategy::Spill, opts);
+      case Variant::MaxLtTrafMultiLastIi:
+        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
+        opts.multiSelect = true;
+        opts.reuseLastIi = true;
+        return pipelineLoop(g, m, Strategy::Spill, opts);
+      case Variant::IncreaseIi:
+        return pipelineLoop(g, m, Strategy::IncreaseII, opts);
+      case Variant::BestOfAll:
+        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
+        opts.multiSelect = true;
+        opts.reuseLastIi = true;
+        return pipelineLoop(g, m, Strategy::BestOfAll, opts);
+    }
+    SWP_PANIC("unknown variant ", int(v));
+}
+
+SuiteTotals
+runSuite(const std::vector<SuiteLoop> &suite, const Machine &m,
+         int registers, Variant v)
+{
+    SuiteTotals totals;
+    Stopwatch sw;
+    for (const SuiteLoop &loop : suite) {
+        const PipelineResult r =
+            runVariant(loop.graph, m, registers, v);
+        totals.cycles += double(r.ii()) * double(loop.iterations);
+        totals.memRefs += double(r.memOpsPerIteration()) *
+                          double(loop.iterations);
+        totals.attempts += r.attempts;
+        totals.unfit += !r.success;
+        totals.fallbacks += r.usedFallback;
+        totals.spills += r.spilledLifetimes;
+    }
+    totals.seconds = sw.seconds();
+    return totals;
+}
+
+std::vector<Machine>
+evaluationMachines()
+{
+    return {Machine::p1l4(), Machine::p2l4(), Machine::p2l6()};
+}
+
+const std::vector<SuiteLoop> &
+evaluationSuite()
+{
+    static const std::vector<SuiteLoop> suite = generateSuite();
+    return suite;
+}
+
+} // namespace swp::benchutil

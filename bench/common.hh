@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures: strategy variants, whole-suite execution
+ * totals, and cycle/traffic accounting.
+ *
+ * Accounting follows the paper:
+ *  - execution cycles of a loop = final II x trip count (the paper's
+ *    figures are in units of 1e9 cycles over all 1258 loops);
+ *  - dynamic memory references = memory ops per iteration x trip count;
+ *  - scheduling time is wall clock, plus the machine-independent count
+ *    of (II, schedule) attempts.
+ */
+
+#ifndef SWP_BENCH_COMMON_HH
+#define SWP_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "pipeliner/pipeliner.hh"
+#include "workload/suitegen.hh"
+
+namespace swp::benchutil
+{
+
+/** The evaluation variants of Figure 8 plus the Section 3/5 baselines. */
+enum class Variant
+{
+    Ideal,                 ///< Unlimited registers.
+    MaxLt,                 ///< Spill, Max(LT), one lifetime per round.
+    MaxLtTraf,             ///< Spill, Max(LT/Traf), one per round.
+    MaxLtTrafMulti,        ///< + multiple lifetimes per round.
+    MaxLtTrafMultiLastIi,  ///< + II search starts at the last II tried.
+    IncreaseIi,            ///< Section 3 strategy.
+    BestOfAll,             ///< Section 5 combination.
+};
+
+const char *variantName(Variant v);
+
+/** Run one variant on one loop. */
+PipelineResult runVariant(const Ddg &g, const Machine &m, int registers,
+                          Variant v);
+
+/** Whole-suite totals for one (machine, registers, variant) cell. */
+struct SuiteTotals
+{
+    double cycles = 0;    ///< Sum of II x iterations.
+    double memRefs = 0;   ///< Sum of memory ops x iterations.
+    long attempts = 0;    ///< (II, schedule) attempts.
+    double seconds = 0;   ///< Wall-clock scheduling time.
+    int unfit = 0;        ///< Loops left over budget.
+    int fallbacks = 0;    ///< Loops that fell back to local scheduling.
+    int spills = 0;       ///< Total lifetimes spilled.
+};
+
+SuiteTotals runSuite(const std::vector<SuiteLoop> &suite, const Machine &m,
+                     int registers, Variant v);
+
+/** The three Section 5 machine configurations. */
+std::vector<Machine> evaluationMachines();
+
+/** The evaluation suite (cached across calls within one process). */
+const std::vector<SuiteLoop> &evaluationSuite();
+
+} // namespace swp::benchutil
+
+#endif // SWP_BENCH_COMMON_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 7: evolution of the register requirement, MII, II and memory
+ * bus utilization as lifetimes are spilled one at a time with the
+ * Max(LT) heuristic (APSI 47/50 analogues, P2L4).
+ *
+ * Expected shape: registers fall as lifetimes are spilled (with
+ * occasional non-monotone bumps when the rescheduled graph packs
+ * differently); the II rises faster than the MII because the fused
+ * "complex operations" constrain the scheduler; bus utilization grows
+ * with the added loads/stores but never reaches 100%.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hh"
+#include "support/table.hh"
+#include "workload/paper_loops.hh"
+
+namespace
+{
+
+using namespace swp;
+
+void
+traceSpilling(const Ddg &g, const Machine &m, int registers, Table &table)
+{
+    PipelinerOptions opts;
+    opts.registers = registers;
+    opts.heuristic = SpillHeuristic::MaxLT;  // The figure's heuristic.
+    opts.multiSelect = false;                // One lifetime per round.
+
+    const int memUnits = m.unitsFor(FuClass::Mem);
+    const PipelineResult r = spillStrategy(
+        g, m, opts, [&](const SpillRoundInfo &info) {
+            const double busUse = 100.0 * double(info.memOps) /
+                                  (double(info.ii) * double(memUnits));
+            table.row()
+                .add(g.name())
+                .add(registers)
+                .add(info.spilledSoFar)
+                .add(info.regsRequired)
+                .add(info.mii)
+                .add(info.ii)
+                .add(busUse, 1);
+        });
+    std::cout << g.name() << " to " << registers << " regs: "
+              << (r.success ? "converged" : "FAILED") << " after "
+              << r.spilledLifetimes << " spilled lifetimes, final II="
+              << r.ii() << " (MII=" << r.mii << "), "
+              << r.memOpsPerIteration() << " mem ops/iter\n";
+}
+
+void
+runFig7(benchmark::State &state)
+{
+    const Machine m = Machine::p2l4();
+    for (auto _ : state) {
+        std::cout << "\nFigure 7: spilling one lifetime per round, "
+                     "Max(LT), P2L4\n";
+        Table table({"loop", "budget", "spilled", "regs", "MII", "II",
+                     "bus%"});
+        traceSpilling(buildApsi47Analogue(), m, 32, table);
+        traceSpilling(buildApsi47Analogue(), m, 16, table);
+        traceSpilling(buildApsi50Analogue(), m, 32, table);
+        traceSpilling(buildApsi50Analogue(), m, 16, table);
+        table.print(std::cout);
+    }
+}
+
+BENCHMARK(runFig7)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

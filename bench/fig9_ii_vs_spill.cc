@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 9: increase-II versus spilling versus their combination, on
+ * the subset of loops that (1) need a register reduction and (2)
+ * converge under increase-II. Total execution cycles per configuration
+ * for 64 and 32 registers.
+ *
+ * Expected shape: spilling wins on average; "best of all" (the Section
+ * 5 combination) is never worse than spilling alone and recovers the
+ * few loops where increase-II happens to be the better choice.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace swp;
+using namespace swp::benchutil;
+
+void
+runFig9(benchmark::State &state)
+{
+    const auto &suite = evaluationSuite();
+
+    for (auto _ : state) {
+        Table table({"config", "regs", "subset", "increase-II(1e9)",
+                     "spill(1e9)", "best-of-all(1e9)",
+                     "spill-wins", "incII-wins"});
+        for (const int registers : {64, 32}) {
+            for (const Machine &m : evaluationMachines()) {
+                double cyclesIi = 0, cyclesSpill = 0, cyclesBest = 0;
+                int subset = 0, spillWins = 0, iiWins = 0;
+                for (const SuiteLoop &loop : suite) {
+                    const PipelineResult incr = runVariant(
+                        loop.graph, m, registers, Variant::IncreaseIi);
+                    // Subset: needed a reduction (rounds > 1 means the
+                    // first II failed the budget) and converged.
+                    if (incr.usedFallback || !incr.success ||
+                        incr.rounds <= 1) {
+                        continue;
+                    }
+                    const PipelineResult spill = runVariant(
+                        loop.graph, m, registers,
+                        Variant::MaxLtTrafMultiLastIi);
+                    if (!spill.success)
+                        continue;
+                    const PipelineResult best = runVariant(
+                        loop.graph, m, registers, Variant::BestOfAll);
+                    ++subset;
+                    const double w = double(loop.iterations);
+                    cyclesIi += double(incr.ii()) * w;
+                    cyclesSpill += double(spill.ii()) * w;
+                    cyclesBest += double(best.ii()) * w;
+                    spillWins += spill.ii() < incr.ii();
+                    iiWins += incr.ii() < spill.ii();
+                }
+                table.row()
+                    .add(m.name())
+                    .add(registers)
+                    .add(subset)
+                    .add(cyclesIi / 1e9, 4)
+                    .add(cyclesSpill / 1e9, 4)
+                    .add(cyclesBest / 1e9, 4)
+                    .add(spillWins)
+                    .add(iiWins);
+            }
+        }
+        std::cout << "\nFigure 9: increase-II vs spill vs best-of-all "
+                     "(converging subset only)\n";
+        table.print(std::cout);
+    }
+}
+
+BENCHMARK(runFig9)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

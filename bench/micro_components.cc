@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Statistical micro-benchmarks of the library's hot components,
+ * parameterized by loop size: MII computation, HRMS and IMS scheduling
+ * at MII, rotating register allocation, one full constrained-pipeline
+ * run, and the cycle-accurate simulator. These time individual layers
+ * (google-benchmark's adaptive iteration applies), complementing the
+ * figure-level harnesses that report one-shot experiment output.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "liferange/lifetimes.hh"
+#include "pipeliner/pipeliner.hh"
+#include "regalloc/rotalloc.hh"
+#include "sched/hrms.hh"
+#include "sched/ims.hh"
+#include "sched/mii.hh"
+#include "sim/vliw.hh"
+#include "workload/suitegen.hh"
+
+namespace
+{
+
+using namespace swp;
+
+/** A deterministic loop of roughly the requested size. */
+const SuiteLoop &
+loopOfSize(int target)
+{
+    static std::vector<SuiteLoop> suite = generateSuite();
+    static std::map<int, const SuiteLoop *> cache;
+    const auto it = cache.find(target);
+    if (it != cache.end())
+        return *it->second;
+    const SuiteLoop *best = &suite[0];
+    for (const SuiteLoop &loop : suite) {
+        if (std::abs(loop.graph.numNodes() - target) <
+            std::abs(best->graph.numNodes() - target)) {
+            best = &loop;
+        }
+    }
+    cache[target] = best;
+    return *best;
+}
+
+void
+BM_Mii(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mii(loop.graph, m));
+    state.SetLabel(loop.graph.name() + "/" +
+                   std::to_string(loop.graph.numNodes()) + " nodes");
+}
+BENCHMARK(BM_Mii)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
+BM_HrmsAtMii(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    const int lower = mii(loop.graph, m);
+    HrmsScheduler hrms;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hrms.scheduleAt(loop.graph, m, lower));
+}
+BENCHMARK(BM_HrmsAtMii)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
+BM_ImsAtMii(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    const int lower = mii(loop.graph, m);
+    ImsScheduler ims;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ims.scheduleAt(loop.graph, m, lower));
+}
+BENCHMARK(BM_ImsAtMii)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
+BM_RotatingAllocation(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    const PipelineResult r = pipelineIdeal(loop.graph, m);
+    const LifetimeInfo info = analyzeLifetimes(loop.graph, r.sched);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(minRotatingRegs(info));
+}
+BENCHMARK(BM_RotatingAllocation)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
+BM_ConstrainedPipeline(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 32;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pipelineLoop(loop.graph, m, Strategy::Spill, opts));
+    }
+}
+BENCHMARK(BM_ConstrainedPipeline)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
+BM_Simulator(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(24);
+    const Machine m = Machine::p2l4();
+    const PipelineResult r = pipelineIdeal(loop.graph, m);
+    SimConfig cfg;
+    cfg.iterations = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulatePipelined(
+            r.graph, m, r.sched, r.alloc.rotAlloc, cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Simulator)->Arg(16)->Arg(64)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Extension sweep: unrolling before software pipelining.
+ *
+ * Unrolling by U executes U original iterations per kernel iteration,
+ * so the figure of merit is II/U (cycles per *original* iteration).
+ * Unrolling can recover fractional resource bounds but multiplies the
+ * body and the register pressure; under a fixed register budget the
+ * constrained pipeliner must spill the excess away, and the net effect
+ * flips from gain to loss as U grows — which this sweep measures on a
+ * suite subset and on the APSI analogues.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hh"
+#include "ir/unroll.hh"
+#include "sched/mii.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "workload/paper_loops.hh"
+
+namespace
+{
+
+using namespace swp;
+using namespace swp::benchutil;
+
+void
+sweepLoop(const Ddg &g, const Machine &m, int registers, Table &table)
+{
+    for (const int factor : {1, 2, 3, 4}) {
+        const Ddg u = unrollLoop(g, factor);
+        PipelinerOptions opts;
+        opts.registers = registers;
+        opts.multiSelect = true;
+        opts.reuseLastIi = true;
+        const PipelineResult r =
+            pipelineLoop(u, m, Strategy::Spill, opts);
+        table.row()
+            .add(g.name())
+            .add(factor)
+            .add(mii(u, m))
+            .add(r.success ? (r.usedFallback ? "fallback" : "yes")
+                           : "NO")
+            .add(r.ii())
+            .add(double(r.ii()) / factor, 2)
+            .add(r.alloc.regsRequired)
+            .add(r.spilledLifetimes);
+    }
+}
+
+void
+runSweep(benchmark::State &state)
+{
+    const Machine m = Machine::p2l4();
+    const auto &full = evaluationSuite();
+
+    for (auto _ : state) {
+        Table table({"loop", "unroll", "MII", "fits", "II",
+                     "II/original-iter", "regs", "spills"});
+        sweepLoop(buildApsi47Analogue(), m, 32, table);
+        sweepLoop(buildApsi50Analogue(), m, 32, table);
+        std::cout << "\nUnroll sweep on the case-study loops "
+                     "(P2L4, 32 registers)\n";
+        table.print(std::cout);
+
+        // Aggregate over a suite subset.
+        Table agg({"unroll", "cycles/orig-iter (sum)", "spills",
+                   "unfit"});
+        for (const int factor : {1, 2, 3}) {
+            double perIter = 0;
+            long spills = 0;
+            int unfit = 0;
+            for (std::size_t i = 0; i < 200; ++i) {
+                const Ddg u = unrollLoop(full[i].graph, factor);
+                PipelinerOptions opts;
+                opts.registers = 32;
+                opts.multiSelect = true;
+                opts.reuseLastIi = true;
+                const PipelineResult r =
+                    pipelineLoop(u, m, Strategy::Spill, opts);
+                perIter += double(r.ii()) / factor;
+                spills += r.spilledLifetimes;
+                unfit += !r.success;
+            }
+            agg.row()
+                .add(factor)
+                .add(perIter, 1)
+                .add(spills)
+                .add(unfit);
+        }
+        std::cout << "\nUnroll sweep over 200 suite loops "
+                     "(P2L4, 32 registers)\n";
+        agg.print(std::cout);
+    }
+}
+
+BENCHMARK(runSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Explore the register/throughput trade-off of a loop: for a range of
+ * register budgets, run all three strategies and print the II, actual
+ * register use, spill count and memory traffic of each.
+ *
+ * Usage:
+ *   spill_explorer                     # the APSI 47 analogue on P2L4
+ *   spill_explorer file.ddg [config]   # loops from a .ddg file
+ *
+ * config is one of p1l4, p2l4 (default), p2l6.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "pipeliner/pipeliner.hh"
+#include "sched/mii.hh"
+#include "support/diag.hh"
+#include "support/table.hh"
+#include "workload/ddgio.hh"
+#include "workload/paper_loops.hh"
+
+namespace
+{
+
+using namespace swp;
+
+Machine
+machineByName(const char *name)
+{
+    if (!std::strcmp(name, "p1l4"))
+        return Machine::p1l4();
+    if (!std::strcmp(name, "p2l6"))
+        return Machine::p2l6();
+    if (!std::strcmp(name, "p2l4"))
+        return Machine::p2l4();
+    SWP_FATAL("unknown machine '", name, "' (p1l4, p2l4, p2l6)");
+}
+
+void
+explore(const Ddg &g, const Machine &m)
+{
+    std::cout << "loop '" << g.name() << "': " << g.numNodes()
+              << " ops, " << g.numMemOps() << " memory ops, "
+              << g.numLiveInvariants() << " invariants, MII="
+              << mii(g, m) << " on " << m.name() << "\n";
+
+    const PipelineResult ideal = pipelineIdeal(g, m);
+    std::cout << "unlimited registers: II=" << ideal.ii() << " using "
+              << ideal.alloc.regsRequired << " registers\n";
+
+    Table table({"budget", "strategy", "fits", "II", "regs", "spills",
+                 "memops/iter", "attempts"});
+    for (int budget = 64; budget >= 8; budget /= 2) {
+        for (Strategy s :
+             {Strategy::IncreaseII, Strategy::Spill,
+              Strategy::BestOfAll}) {
+            PipelinerOptions opts;
+            opts.registers = budget;
+            opts.multiSelect = true;
+            opts.reuseLastIi = true;
+            const PipelineResult r = pipelineLoop(g, m, s, opts);
+            table.row()
+                .add(budget)
+                .add(strategyName(s))
+                .add(r.success ? (r.usedFallback ? "fallback" : "yes")
+                               : "NO")
+                .add(r.ii())
+                .add(r.alloc.regsRequired)
+                .add(r.spilledLifetimes)
+                .add(r.memOpsPerIteration())
+                .add(r.attempts);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace swp;
+
+    const Machine m = machineByName(argc > 2 ? argv[2] : "p2l4");
+    if (argc > 1) {
+        for (const SuiteLoop &loop : parseDdgFile(argv[1]))
+            explore(loop.graph, m);
+    } else {
+        explore(buildApsi47Analogue(), m);
+        explore(buildApsi50Analogue(), m);
+    }
+    return 0;
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * swpipe_cli: command-line driver for the register-constrained
+ * pipeliner. Reads loops from .ddg files (or uses built-in loops),
+ * schedules them under a register budget with the selected strategy,
+ * and optionally emits the kernel listing, the MVE form, a simulation
+ * check, or machine-readable CSV.
+ *
+ * Usage:
+ *   swpipe_cli [options] [file.ddg ...]
+ *
+ * Options:
+ *   --machine p1l4|p2l4|p2l6      machine configuration (default p2l4)
+ *   --registers N                 register budget (default 32)
+ *   --strategy ideal|increase-ii|spill|best   (default best)
+ *   --scheduler hrms|ims          core scheduler (default hrms)
+ *   --heuristic lt|lttraf         spill selection (default lttraf)
+ *   --single                      one lifetime per round (no 4.5 accel)
+ *   --uses                        use-granularity spilling (Section 6)
+ *   --no-fusion                   ablation: no complex-op fusion
+ *   --kernel                      print the kernel listing
+ *   --mve                         print the MVE form
+ *   --simulate N                  execute N iterations and verify
+ *   --csv                         one CSV row per loop
+ *   --example                     use the paper's Figure 2 loop
+ *   --apsi                        use the APSI 47/50 analogues
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "codegen/kernel.hh"
+#include "ir/builder.hh"
+#include "pipeliner/pipeliner.hh"
+#include "sched/mii.hh"
+#include "sim/vliw.hh"
+#include "support/diag.hh"
+#include "workload/ddgio.hh"
+#include "workload/paper_loops.hh"
+
+namespace
+{
+
+using namespace swp;
+
+struct CliOptions
+{
+    Machine machine = Machine::p2l4();
+    Strategy strategy = Strategy::BestOfAll;
+    PipelinerOptions pipeline;
+    bool ideal = false;
+    bool kernel = false;
+    bool mve = false;
+    long simulate = 0;
+    bool csv = false;
+    std::vector<SuiteLoop> loops;
+};
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::cerr << "swpipe_cli: " << msg
+              << " (see the file header for usage)\n";
+    std::exit(2);
+}
+
+const char *
+nextArg(int argc, char **argv, int &i, const char *flag)
+{
+    if (++i >= argc)
+        usageError(std::string("missing argument for ") + flag);
+    return argv[i];
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    opts.pipeline.multiSelect = true;
+    opts.pipeline.reuseLastIi = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--machine")) {
+            const char *name = nextArg(argc, argv, i, arg);
+            if (!std::strcmp(name, "p1l4"))
+                opts.machine = Machine::p1l4();
+            else if (!std::strcmp(name, "p2l4"))
+                opts.machine = Machine::p2l4();
+            else if (!std::strcmp(name, "p2l6"))
+                opts.machine = Machine::p2l6();
+            else
+                usageError(std::string("unknown machine ") + name);
+        } else if (!std::strcmp(arg, "--registers")) {
+            opts.pipeline.registers =
+                std::atoi(nextArg(argc, argv, i, arg));
+            if (opts.pipeline.registers < 1)
+                usageError("registers must be positive");
+        } else if (!std::strcmp(arg, "--strategy")) {
+            const char *name = nextArg(argc, argv, i, arg);
+            if (!std::strcmp(name, "ideal"))
+                opts.ideal = true;
+            else if (!std::strcmp(name, "increase-ii"))
+                opts.strategy = Strategy::IncreaseII;
+            else if (!std::strcmp(name, "spill"))
+                opts.strategy = Strategy::Spill;
+            else if (!std::strcmp(name, "best"))
+                opts.strategy = Strategy::BestOfAll;
+            else
+                usageError(std::string("unknown strategy ") + name);
+        } else if (!std::strcmp(arg, "--scheduler")) {
+            const char *name = nextArg(argc, argv, i, arg);
+            if (!std::strcmp(name, "hrms"))
+                opts.pipeline.scheduler = SchedulerKind::Hrms;
+            else if (!std::strcmp(name, "ims"))
+                opts.pipeline.scheduler = SchedulerKind::Ims;
+            else
+                usageError(std::string("unknown scheduler ") + name);
+        } else if (!std::strcmp(arg, "--heuristic")) {
+            const char *name = nextArg(argc, argv, i, arg);
+            if (!std::strcmp(name, "lt"))
+                opts.pipeline.heuristic = SpillHeuristic::MaxLT;
+            else if (!std::strcmp(name, "lttraf"))
+                opts.pipeline.heuristic = SpillHeuristic::MaxLTOverTraf;
+            else
+                usageError(std::string("unknown heuristic ") + name);
+        } else if (!std::strcmp(arg, "--single")) {
+            opts.pipeline.multiSelect = false;
+            opts.pipeline.reuseLastIi = false;
+        } else if (!std::strcmp(arg, "--uses")) {
+            opts.pipeline.spillUses = true;
+        } else if (!std::strcmp(arg, "--no-fusion")) {
+            opts.pipeline.fuseSpillOps = false;
+        } else if (!std::strcmp(arg, "--kernel")) {
+            opts.kernel = true;
+        } else if (!std::strcmp(arg, "--mve")) {
+            opts.mve = true;
+        } else if (!std::strcmp(arg, "--simulate")) {
+            opts.simulate = std::atol(nextArg(argc, argv, i, arg));
+        } else if (!std::strcmp(arg, "--csv")) {
+            opts.csv = true;
+        } else if (!std::strcmp(arg, "--example")) {
+            opts.loops.push_back({buildPaperExampleLoop(), 100});
+        } else if (!std::strcmp(arg, "--apsi")) {
+            opts.loops.push_back({buildApsi47Analogue(), 1000});
+            opts.loops.push_back({buildApsi50Analogue(), 1000});
+        } else if (arg[0] == '-') {
+            usageError(std::string("unknown option ") + arg);
+        } else {
+            for (SuiteLoop &loop : parseDdgFile(arg))
+                opts.loops.push_back(std::move(loop));
+        }
+    }
+    if (opts.loops.empty())
+        opts.loops.push_back({buildPaperExampleLoop(), 100});
+    return opts;
+}
+
+int
+processLoop(const CliOptions &opts, const SuiteLoop &loop)
+{
+    const Ddg &g = loop.graph;
+    const Machine &m = opts.machine;
+
+    const PipelineResult r =
+        opts.ideal ? pipelineIdeal(g, m, opts.pipeline.scheduler)
+                   : pipelineLoop(g, m, opts.strategy, opts.pipeline);
+
+    if (opts.csv) {
+        std::cout << g.name() << "," << m.name() << ","
+                  << (opts.ideal ? "ideal" : strategyName(opts.strategy))
+                  << "," << opts.pipeline.registers << ","
+                  << (r.success ? 1 : 0) << "," << mii(g, m) << ","
+                  << r.ii() << "," << r.alloc.regsRequired << ","
+                  << r.spilledLifetimes << ","
+                  << r.memOpsPerIteration() << "," << r.attempts
+                  << "\n";
+    } else {
+        std::cout << "loop '" << g.name() << "' on " << m.name()
+                  << ": " << (r.success ? "fits" : "DOES NOT FIT")
+                  << " budget " << opts.pipeline.registers << " — II="
+                  << r.ii() << " (MII " << mii(g, m) << "), "
+                  << r.alloc.regsRequired << " regs, "
+                  << r.spilledLifetimes << " spills, "
+                  << r.memOpsPerIteration() << " mem ops/iter\n";
+    }
+
+    if (opts.kernel) {
+        std::cout << formatKernelListing(r.graph, m, r.sched,
+                                         r.alloc.rotAlloc);
+    }
+    if (opts.mve) {
+        const LifetimeInfo info = analyzeLifetimes(r.graph, r.sched);
+        std::cout << formatMveKernel(r.graph, r.sched, info);
+    }
+    if (opts.simulate > 0) {
+        std::string why;
+        if (!equivalentToSequential(g, r.graph, m, r.sched,
+                                    r.alloc.rotAlloc, opts.simulate,
+                                    &why)) {
+            std::cerr << "simulation MISMATCH on '" << g.name()
+                      << "': " << why << "\n";
+            return 1;
+        }
+        if (!opts.csv) {
+            std::cout << "  simulation: " << opts.simulate
+                      << " iterations match the sequential reference\n";
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const CliOptions opts = parseArgs(argc, argv);
+        if (opts.csv) {
+            std::cout << "loop,machine,strategy,budget,fits,mii,ii,"
+                         "regs,spills,memops,attempts\n";
+        }
+        int rc = 0;
+        for (const SuiteLoop &loop : opts.loops)
+            rc |= processLoop(opts, loop);
+        return rc;
+    } catch (const swp::FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+}

@@ -1,0 +1,91 @@
+#include "codegen/visualize.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "liferange/lifetimes.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+std::string
+formatLifetimeChart(const Ddg &g, const Schedule &sched, int iterations)
+{
+    const LifetimeInfo info = analyzeLifetimes(g, sched);
+    const int ii = sched.ii();
+
+    std::vector<const Lifetime *> values;
+    for (const Lifetime &lt : info.lifetimes) {
+        if (lt.live && lt.length() > 0)
+            values.push_back(&lt);
+    }
+    std::ostringstream os;
+    if (values.empty())
+        return "(no live loop variants)\n";
+
+    // Columns: iteration-major, value-minor.
+    struct Column
+    {
+        const Lifetime *lt;
+        int iter;
+        long start, end;
+    };
+    std::vector<Column> cols;
+    long lastCycle = 0;
+    for (int k = 0; k < iterations; ++k) {
+        for (const Lifetime *lt : values) {
+            Column c;
+            c.lt = lt;
+            c.iter = k;
+            c.start = lt->start + long(k) * ii;
+            c.end = lt->end + long(k) * ii;
+            lastCycle = std::max(lastCycle, c.end);
+            cols.push_back(c);
+        }
+    }
+
+    os << "lifetimes of " << iterations << " iterations (II=" << ii
+       << "); columns per iteration:";
+    for (const Lifetime *lt : values)
+        os << " " << g.node(lt->producer).name;
+    os << "\n";
+
+    for (long cycle = 0; cycle <= lastCycle; ++cycle) {
+        os << strprintf("%4ld |", cycle);
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            if (i % values.size() == 0 && i > 0)
+                os << ' ';
+            const Column &c = cols[i];
+            char mark = ' ';
+            if (cycle == c.start)
+                mark = 'o';  // Defined.
+            else if (cycle > c.start && cycle < c.end)
+                mark = '|';
+            else if (cycle == c.end)
+                mark = '+';  // Last use.
+            os << mark;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+formatPressureChart(const Ddg &g, const Schedule &sched)
+{
+    const LifetimeInfo info = analyzeLifetimes(g, sched);
+    (void)g;
+    std::ostringstream os;
+    os << "register pressure per kernel row (MaxLive=" << info.maxLive
+       << ", +" << info.invariantCount << " invariant regs):\n";
+    for (int r = 0; r < info.ii; ++r) {
+        const int p = info.pressure[std::size_t(r)];
+        os << strprintf("row %2d: %-3d ", r, p)
+           << std::string(std::size_t(p), '#') << "\n";
+    }
+    return os.str();
+}
+
+} // namespace swp

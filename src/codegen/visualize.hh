@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ASCII visualization of modulo schedules: per-iteration lifetime
+ * charts (the paper's Figure 2d) and the folded register-pressure
+ * pattern (Figure 2f). Used by the examples and handy when debugging
+ * register-pressure questions.
+ */
+
+#ifndef SWP_CODEGEN_VISUALIZE_HH
+#define SWP_CODEGEN_VISUALIZE_HH
+
+#include <string>
+
+#include "ir/ddg.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/**
+ * Draw the loop-variant lifetimes of `iterations` consecutive
+ * iterations against absolute cycles, one column per (value,
+ * iteration) pair — the overlap picture of Figure 2d.
+ */
+std::string formatLifetimeChart(const Ddg &g, const Schedule &sched,
+                                int iterations = 3);
+
+/**
+ * Draw the folded pressure pattern: for each kernel row, a bar of the
+ * simultaneously live loop variants and the count — Figure 2f.
+ */
+std::string formatPressureChart(const Ddg &g, const Schedule &sched);
+
+} // namespace swp
+
+#endif // SWP_CODEGEN_VISUALIZE_HH

@@ -1,0 +1,23 @@
+#include "ir/builder.hh"
+
+namespace swp
+{
+
+Ddg
+buildPaperExampleLoop()
+{
+    DdgBuilder b("fig2");
+    const NodeId ld = b.load("Ld");
+    const NodeId mul = b.mul("*");
+    const NodeId add = b.add("+");
+    const NodeId st = b.store("St");
+
+    b.flow(ld, mul, 0);   // y(i) feeds the multiply.
+    b.flow(ld, add, 3);   // y(i-3) is a loop-carried use at distance 3.
+    b.flow(mul, add, 0);  // y(i)*a feeds the add.
+    b.flow(add, st, 0);   // the sum is stored to x(i).
+    b.invariant("a", {mul});
+    return b.take();
+}
+
+} // namespace swp

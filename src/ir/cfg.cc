@@ -1,0 +1,173 @@
+#include "ir/cfg.hh"
+
+#include <map>
+
+#include "ir/verify.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** A loop-carried use to resolve once the whole body is flattened. */
+struct DeferredEdge
+{
+    NodeId consumer;
+    std::string name;
+    int distance;
+};
+
+/** Flattening state. */
+struct Converter
+{
+    Ddg g;
+    std::map<std::string, InvId> invariants;
+    std::vector<DeferredEdge> deferred;
+    int selectCount = 0;
+
+    explicit Converter(const CfgLoop &loop) : g(loop.name)
+    {
+        for (const std::string &inv : loop.invariants) {
+            if (invariants.count(inv))
+                SWP_FATAL("duplicate invariant '", inv, "'");
+            invariants.emplace(inv, g.addInvariant(inv));
+        }
+    }
+
+    /** Attach one operand of `node`, deferring carried uses. */
+    void
+    attachUse(NodeId node, const CfgOperand &use,
+              const std::map<std::string, NodeId> &env)
+    {
+        if (use.invariant) {
+            const auto it = invariants.find(use.name);
+            if (it == invariants.end())
+                SWP_FATAL("unknown invariant '", use.name, "'");
+            g.addInvariantUse(it->second, node);
+            return;
+        }
+        if (use.distance > 0) {
+            deferred.push_back({node, use.name, use.distance});
+            return;
+        }
+        const auto it = env.find(use.name);
+        if (it == env.end()) {
+            SWP_FATAL("use of undefined value '", use.name,
+                      "' (zero-distance uses must follow their "
+                      "definition)");
+        }
+        g.addEdge(it->second, node, DepKind::RegFlow, 0);
+    }
+
+    /** Flatten a statement list into the graph, updating `env`. */
+    void
+    flatten(const std::vector<CfgStmt> &stmts,
+            std::map<std::string, NodeId> &env)
+    {
+        for (const CfgStmt &stmt : stmts) {
+            if (stmt.kind == CfgStmt::Kind::Op) {
+                const NodeId node =
+                    g.addNode(stmt.op, stmt.def.empty()
+                                           ? std::string()
+                                           : stmt.def);
+                for (const CfgOperand &use : stmt.uses)
+                    attachUse(node, use, env);
+                if (!stmt.def.empty()) {
+                    if (!producesValue(stmt.op)) {
+                        SWP_FATAL("statement '", stmt.def,
+                                  "' defines a name but its opcode "
+                                  "produces no value");
+                    }
+                    env[stmt.def] = node;
+                }
+                continue;
+            }
+
+            // If/then/else: flatten both arms from the same base
+            // environment, then merge divergent names with selects.
+            std::map<std::string, NodeId> thenEnv = env;
+            std::map<std::string, NodeId> elseEnv = env;
+            flatten(stmt.thenBody, thenEnv);
+            flatten(stmt.elseBody, elseEnv);
+
+            // Names whose post-arm values diverge.
+            std::map<std::string, std::pair<NodeId, NodeId>> merges;
+            for (const auto &[name, node] : thenEnv) {
+                const auto inElse = elseEnv.find(name);
+                const NodeId other = inElse == elseEnv.end()
+                                         ? invalidNode
+                                         : inElse->second;
+                if (other != node)
+                    merges[name] = {node, other};
+            }
+            for (const auto &[name, node] : elseEnv) {
+                if (!thenEnv.count(name))
+                    merges[name] = {invalidNode, node};
+            }
+
+            for (const auto &[name, pair] : merges) {
+                const auto [vThen, vElse] = pair;
+                if (vThen == invalidNode || vElse == invalidNode) {
+                    // Defined on one path with no prior value: a
+                    // branch-local temporary. It cannot escape the
+                    // conditional; later zero-distance uses will fail
+                    // with "undefined value", which is the accurate
+                    // diagnosis.
+                    env.erase(name);
+                    continue;
+                }
+                const NodeId sel =
+                    g.addNode(Opcode::Select, "phi_" + name);
+                ++selectCount;
+                attachUse(sel, stmt.cond, env);
+                g.addEdge(vThen, sel, DepKind::RegFlow, 0);
+                g.addEdge(vElse, sel, DepKind::RegFlow, 0);
+                env[name] = sel;
+            }
+        }
+    }
+
+    /** Bind the loop-carried uses against the end-of-iteration values. */
+    void
+    resolveDeferred(const std::map<std::string, NodeId> &final_env)
+    {
+        for (const DeferredEdge &d : deferred) {
+            const auto it = final_env.find(d.name);
+            if (it == final_env.end()) {
+                SWP_FATAL("loop-carried use of undefined value '",
+                          d.name, "'");
+            }
+            g.addEdge(it->second, d.consumer, DepKind::RegFlow,
+                      d.distance);
+        }
+    }
+};
+
+} // namespace
+
+Ddg
+ifConvert(const CfgLoop &loop)
+{
+    Converter conv(loop);
+    std::map<std::string, NodeId> env;
+    conv.flatten(loop.body, env);
+    conv.resolveDeferred(env);
+
+    std::string why;
+    if (!verifyDdg(conv.g, &why))
+        SWP_FATAL("IF-conversion produced a malformed graph: ", why);
+    return std::move(conv.g);
+}
+
+int
+countSelects(const CfgLoop &loop)
+{
+    Converter conv(loop);
+    std::map<std::string, NodeId> env;
+    conv.flatten(loop.body, env);
+    return conv.selectCount;
+}
+
+} // namespace swp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Structured loop bodies with conditionals, and IF-conversion.
+ *
+ * The paper's evaluation uses innermost loops whose conditionals were
+ * removed by IF-conversion (Allen, Kennedy, Warren — the paper's
+ * reference [2]) before dependence graphs were extracted. This module
+ * provides that front end: a loop body is a structured statement tree
+ * (operations and if/then/else regions over named values), and
+ * ifConvert() flattens it into a single-basic-block Ddg where control
+ * dependences became data dependences through select operations.
+ *
+ * Conversion rules:
+ *  - a name defined in both branches becomes two renamed definitions
+ *    merged by select(cond, then-value, else-value);
+ *  - a name defined in one branch that existed before the `if` merges
+ *    with its prior value;
+ *  - a store inside a branch becomes an unconditional store of the
+ *    select-merged datum (the classic transformation for predicate-free
+ *    targets);
+ *  - nested ifs convert inside-out, so the merged values of an inner
+ *    region feed the selects of the outer one.
+ */
+
+#ifndef SWP_IR_CFG_HH
+#define SWP_IR_CFG_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.hh"
+
+namespace swp
+{
+
+/** One operand of a structured statement. */
+struct CfgOperand
+{
+    /** Named value, or an invariant when `invariant` is true. */
+    std::string name;
+    /** Iteration distance for loop-carried uses (named values only). */
+    int distance = 0;
+    bool invariant = false;
+
+    static CfgOperand
+    value(std::string n, int d = 0)
+    {
+        CfgOperand op;
+        op.name = std::move(n);
+        op.distance = d;
+        return op;
+    }
+
+    static CfgOperand
+    inv(std::string n)
+    {
+        CfgOperand op;
+        op.name = std::move(n);
+        op.invariant = true;
+        return op;
+    }
+};
+
+/** A statement: an operation or an if/then/else region. */
+struct CfgStmt
+{
+    enum class Kind
+    {
+        Op,
+        If,
+    };
+
+    Kind kind = Kind::Op;
+
+    /** @name Kind::Op */
+    /// @{
+    Opcode op = Opcode::Nop;
+    std::string def;  ///< Defined name; empty for stores.
+    std::vector<CfgOperand> uses;
+    /// @}
+
+    /** @name Kind::If */
+    /// @{
+    CfgOperand cond;
+    std::vector<CfgStmt> thenBody;
+    std::vector<CfgStmt> elseBody;
+    /// @}
+
+    static CfgStmt
+    makeOp(Opcode op, std::string def, std::vector<CfgOperand> uses)
+    {
+        CfgStmt s;
+        s.kind = Kind::Op;
+        s.op = op;
+        s.def = std::move(def);
+        s.uses = std::move(uses);
+        return s;
+    }
+
+    static CfgStmt
+    makeIf(CfgOperand cond, std::vector<CfgStmt> then_body,
+           std::vector<CfgStmt> else_body)
+    {
+        CfgStmt s;
+        s.kind = Kind::If;
+        s.cond = std::move(cond);
+        s.thenBody = std::move(then_body);
+        s.elseBody = std::move(else_body);
+        return s;
+    }
+};
+
+/** A structured innermost loop with conditionals. */
+struct CfgLoop
+{
+    std::string name = "loop";
+    std::vector<std::string> invariants;
+    std::vector<CfgStmt> body;
+};
+
+/**
+ * IF-convert a structured loop into a single-basic-block dependence
+ * graph. Throws FatalError on malformed input (undefined names,
+ * zero-distance forward references, redefinition outside branches).
+ */
+Ddg ifConvert(const CfgLoop &loop);
+
+/** Number of select operations IF-conversion would insert. */
+int countSelects(const CfgLoop &loop);
+
+} // namespace swp
+
+#endif // SWP_IR_CFG_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The data dependence graph (DDG) of an innermost loop.
+ *
+ * Following Section 2.1 of the paper, a loop is a graph G = (V, E, delta)
+ * where vertices are operations, edges are dependences, and delta maps
+ * each edge to a dependence distance in iterations. Edges are classified
+ * as register data dependences (only flow dependences, since register
+ * allocation happens after scheduling), memory data dependences, and
+ * control dependences.
+ *
+ * In addition to the paper's definitions, nodes carry the annotations the
+ * spilling machinery of Section 4 needs: spill-load/spill-store origin,
+ * non-spillable value marking, and the semantic reference a spill load
+ * uses to recover the spilled value (needed by the validation simulator).
+ */
+
+#ifndef SWP_IR_DDG_HH
+#define SWP_IR_DDG_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hh"
+
+namespace swp
+{
+
+using NodeId = int;
+using EdgeId = int;
+using InvId = int;
+
+constexpr NodeId invalidNode = -1;
+
+/** Dependence kind (Section 2.1). */
+enum class DepKind
+{
+    RegFlow,  ///< Register flow dependence: dst consumes src's value.
+    Mem,      ///< Memory data dependence (store -> load ordering).
+    Control,  ///< Control dependence (kept for generality).
+};
+
+/**
+ * How a spill load recovers the value it reloads. Used by the validation
+ * simulator to give spill code executable semantics.
+ */
+struct SpillRef
+{
+    enum class Kind
+    {
+        None,          ///< Not a spill load.
+        StoreSlot,     ///< Reads the memory stream written by store #value.
+        ReloadStream,  ///< Re-reads the input stream of original load
+                       ///< #value (producer-is-load optimization).
+        InvariantMem,  ///< Reads spilled loop-invariant #value.
+    };
+
+    Kind kind = Kind::None;
+    int value = -1;  ///< Node or invariant id, per kind.
+    int shift = 0;   ///< Iteration distance applied to the stream read.
+};
+
+/** Where a node came from. */
+enum class NodeOrigin
+{
+    Original,    ///< Part of the source loop.
+    SpillStore,  ///< Store inserted by the spiller.
+    SpillLoad,   ///< Load inserted by the spiller.
+};
+
+/** An operation of the loop body. */
+struct Node
+{
+    Opcode op = Opcode::Nop;
+    std::string name;
+    NodeOrigin origin = NodeOrigin::Original;
+
+    /**
+     * The value this node produces may not be selected for spilling.
+     * Set for values produced by spill loads or consumed by spill stores
+     * (Section 4.3's deadlock-avoidance rule).
+     */
+    bool nonSpillableValue = false;
+
+    /** Semantic source for spill loads. */
+    SpillRef spillRef;
+
+    /** Loop invariants consumed by this operation. */
+    std::vector<InvId> invariantUses;
+};
+
+/** A dependence between two operations. */
+struct Edge
+{
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    DepKind kind = DepKind::RegFlow;
+    int distance = 0;  ///< delta(e): iterations between def and use.
+
+    /**
+     * Edge added by the spiller connecting a spill load/store to its
+     * consumer/producer. Non-spillable edges force the endpoints to be
+     * scheduled as a single "complex operation" at the exact offset
+     * `fusedDelay` (Section 4.3).
+     */
+    bool nonSpillable = false;
+
+    /**
+     * Exact issue distance for fused edges; 0 means "the producer's
+     * latency". The spiller staggers the delays of sibling reloads
+     * feeding one consumer (latency, latency+1, ...) so they never
+     * compete for the same functional unit in the same kernel row.
+     */
+    int fusedDelay = 0;
+
+    /** Dead edges are skipped by all queries (removed by spilling). */
+    bool alive = true;
+};
+
+/** A loop-invariant value (one register for the whole loop, Section 2.3). */
+struct Invariant
+{
+    std::string name;
+    std::vector<NodeId> consumers;
+    bool spillable = true;
+    /** Spilled invariants live in memory and need no register. */
+    bool spilled = false;
+};
+
+/**
+ * A mutable data dependence graph.
+ *
+ * Node ids are dense and stable. Edges may be killed (spilling) and new
+ * edges/nodes appended; adjacency lists are maintained incrementally.
+ */
+class Ddg
+{
+  public:
+    explicit Ddg(std::string name = "loop") : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** @name Construction */
+    /// @{
+    NodeId addNode(Opcode op, std::string name = "",
+                   NodeOrigin origin = NodeOrigin::Original);
+    EdgeId addEdge(NodeId src, NodeId dst, DepKind kind, int distance = 0,
+                   bool non_spillable = false);
+    InvId addInvariant(std::string name = "");
+    /** Record that node uses the given invariant. */
+    void addInvariantUse(InvId inv, NodeId node);
+    /** Kill an edge; it disappears from all adjacency queries. */
+    void killEdge(EdgeId e);
+    /// @}
+
+    /** @name Accessors */
+    /// @{
+    int numNodes() const { return int(nodes_.size()); }
+    int numEdges() const { return int(edges_.size()); }
+    int numInvariants() const { return int(invariants_.size()); }
+
+    Node &node(NodeId n) { return nodes_[std::size_t(n)]; }
+    const Node &node(NodeId n) const { return nodes_[std::size_t(n)]; }
+    Edge &edge(EdgeId e) { return edges_[std::size_t(e)]; }
+    const Edge &edge(EdgeId e) const { return edges_[std::size_t(e)]; }
+    Invariant &invariant(InvId i) { return invariants_[std::size_t(i)]; }
+    const Invariant &
+    invariant(InvId i) const
+    {
+        return invariants_[std::size_t(i)];
+    }
+
+    /** Live out-edge ids of a node. */
+    std::vector<EdgeId> outEdges(NodeId n) const;
+    /** Live in-edge ids of a node. */
+    std::vector<EdgeId> inEdges(NodeId n) const;
+
+    /** Live register-flow out-edges: the uses of n's value. */
+    std::vector<EdgeId> valueUses(NodeId n) const;
+
+    /** Number of live register-flow out-edges. */
+    int numValueUses(NodeId n) const;
+
+    /** Count of live (non-spilled) loop invariants. */
+    int numLiveInvariants() const;
+
+    /** Count of nodes with a given origin. */
+    int countOrigin(NodeOrigin origin) const;
+
+    /** Number of memory operations (loads + stores), for traffic stats. */
+    int numMemOps() const;
+    /// @}
+
+    /** Human-readable dump for debugging. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<Edge> edges_;
+    std::vector<Invariant> invariants_;
+    std::vector<std::vector<EdgeId>> out_;  ///< Includes dead edges.
+    std::vector<std::vector<EdgeId>> in_;   ///< Includes dead edges.
+};
+
+} // namespace swp
+
+#endif // SWP_IR_DDG_HH

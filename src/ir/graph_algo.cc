@@ -1,0 +1,218 @@
+#include "ir/graph_algo.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** Iterative Tarjan to avoid deep recursion on long dependence chains. */
+struct TarjanState
+{
+    const Ddg &g;
+    SccResult result;
+    std::vector<int> index, lowlink;
+    std::vector<bool> onStack;
+    std::vector<NodeId> stack;
+    int nextIndex = 0;
+
+    explicit TarjanState(const Ddg &graph)
+        : g(graph),
+          index(std::size_t(graph.numNodes()), -1),
+          lowlink(std::size_t(graph.numNodes()), 0),
+          onStack(std::size_t(graph.numNodes()), false)
+    {
+        result.compOf.assign(std::size_t(graph.numNodes()), -1);
+    }
+
+    void
+    run(NodeId root)
+    {
+        // Explicit DFS stack of (node, next-successor-cursor).
+        struct Frame { NodeId n; std::vector<EdgeId> succs; std::size_t i; };
+        std::vector<Frame> frames;
+        frames.push_back({root, g.outEdges(root), 0});
+        index[std::size_t(root)] = lowlink[std::size_t(root)] = nextIndex++;
+        stack.push_back(root);
+        onStack[std::size_t(root)] = true;
+
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            if (f.i < f.succs.size()) {
+                const NodeId w = g.edge(f.succs[f.i++]).dst;
+                if (index[std::size_t(w)] < 0) {
+                    index[std::size_t(w)] = lowlink[std::size_t(w)] =
+                        nextIndex++;
+                    stack.push_back(w);
+                    onStack[std::size_t(w)] = true;
+                    frames.push_back({w, g.outEdges(w), 0});
+                } else if (onStack[std::size_t(w)]) {
+                    lowlink[std::size_t(f.n)] = std::min(
+                        lowlink[std::size_t(f.n)], index[std::size_t(w)]);
+                }
+            } else {
+                const NodeId n = f.n;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const NodeId parent = frames.back().n;
+                    lowlink[std::size_t(parent)] = std::min(
+                        lowlink[std::size_t(parent)],
+                        lowlink[std::size_t(n)]);
+                }
+                if (lowlink[std::size_t(n)] == index[std::size_t(n)]) {
+                    std::vector<NodeId> comp;
+                    NodeId w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack[std::size_t(w)] = false;
+                        result.compOf[std::size_t(w)] =
+                            int(result.comps.size());
+                        comp.push_back(w);
+                    } while (w != n);
+                    result.comps.push_back(std::move(comp));
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+SccResult
+stronglyConnectedComponents(const Ddg &g)
+{
+    TarjanState state(g);
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (state.index[std::size_t(n)] < 0)
+            state.run(n);
+    }
+
+    SccResult result = std::move(state.result);
+    result.isRecurrence.assign(std::size_t(result.numComps()), false);
+    for (int c = 0; c < result.numComps(); ++c) {
+        if (result.comps[std::size_t(c)].size() > 1) {
+            result.isRecurrence[std::size_t(c)] = true;
+        }
+    }
+    // A single node with a self edge is also a recurrence.
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (EdgeId e : g.outEdges(n)) {
+            if (g.edge(e).dst == n)
+                result.isRecurrence[std::size_t(
+                    result.compOf[std::size_t(n)])] = true;
+        }
+    }
+    return result;
+}
+
+std::vector<NodeId>
+topologicalOrder(const Ddg &g)
+{
+    const SccResult scc = stronglyConnectedComponents(g);
+
+    // Kahn's algorithm over the condensation. Tarjan emits components in
+    // reverse topological order, so sorting nodes by decreasing component
+    // index gives a valid order of the condensation; within a component
+    // we keep node-id order for determinism.
+    std::vector<NodeId> order(std::size_t(g.numNodes()));
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        order[std::size_t(n)] = n;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeId a, NodeId b) {
+                         return scc.compOf[std::size_t(a)] >
+                                scc.compOf[std::size_t(b)];
+                     });
+    return order;
+}
+
+std::vector<NodeId>
+topologicalOrderIntraIteration(const Ddg &g)
+{
+    const int n = g.numNodes();
+    std::vector<int> indeg(std::size_t(n), 0);
+    for (NodeId u = 0; u < n; ++u) {
+        for (EdgeId e : g.outEdges(u)) {
+            if (g.edge(e).distance == 0)
+                ++indeg[std::size_t(g.edge(e).dst)];
+        }
+    }
+    std::vector<NodeId> ready;
+    for (NodeId u = 0; u < n; ++u) {
+        if (indeg[std::size_t(u)] == 0)
+            ready.push_back(u);
+    }
+    std::vector<NodeId> order;
+    order.reserve(std::size_t(n));
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+        const NodeId u = ready[i];
+        order.push_back(u);
+        for (EdgeId e : g.outEdges(u)) {
+            if (g.edge(e).distance != 0)
+                continue;
+            const NodeId v = g.edge(e).dst;
+            if (--indeg[std::size_t(v)] == 0)
+                ready.push_back(v);
+        }
+    }
+    if (int(order.size()) != n) {
+        SWP_FATAL("loop '", g.name(),
+                  "' has a zero-distance dependence cycle");
+    }
+    return order;
+}
+
+std::vector<std::vector<bool>>
+reachability(const Ddg &g)
+{
+    const int n = g.numNodes();
+    const SccResult scc = stronglyConnectedComponents(g);
+    const int nc = scc.numComps();
+
+    // Tarjan emits components in reverse topological order: for an edge
+    // between distinct components a -> b, compOf(b) < compOf(a). So
+    // iterating components in increasing index processes successors first
+    // and component reach sets are complete when read.
+    std::vector<std::vector<bool>> compReach(
+        std::size_t(nc), std::vector<bool>(std::size_t(nc), false));
+    for (int c = 0; c < nc; ++c) {
+        if (scc.isRecurrence[std::size_t(c)])
+            compReach[std::size_t(c)][std::size_t(c)] = true;
+        for (NodeId u : scc.comps[std::size_t(c)]) {
+            for (EdgeId e : g.outEdges(u)) {
+                const int d =
+                    scc.compOf[std::size_t(g.edge(e).dst)];
+                if (d == c)
+                    continue;
+                compReach[std::size_t(c)][std::size_t(d)] = true;
+                for (int w = 0; w < nc; ++w) {
+                    if (compReach[std::size_t(d)][std::size_t(w)])
+                        compReach[std::size_t(c)][std::size_t(w)] = true;
+                }
+            }
+        }
+    }
+
+    std::vector<std::vector<bool>> reach(
+        std::size_t(n), std::vector<bool>(std::size_t(n), false));
+    for (NodeId u = 0; u < n; ++u) {
+        const int cu = scc.compOf[std::size_t(u)];
+        for (NodeId v = 0; v < n; ++v) {
+            const int cv = scc.compOf[std::size_t(v)];
+            if (cu == cv) {
+                reach[std::size_t(u)][std::size_t(v)] =
+                    scc.isRecurrence[std::size_t(cu)];
+            } else {
+                reach[std::size_t(u)][std::size_t(v)] =
+                    compReach[std::size_t(cu)][std::size_t(cv)];
+            }
+        }
+    }
+    return reach;
+}
+
+} // namespace swp

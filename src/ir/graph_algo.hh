@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Graph algorithms over the DDG: strongly connected components,
+ * topological ordering, and reachability. These underpin RecMII
+ * computation and the HRMS pre-ordering phase.
+ */
+
+#ifndef SWP_IR_GRAPH_ALGO_HH
+#define SWP_IR_GRAPH_ALGO_HH
+
+#include <vector>
+
+#include "ir/ddg.hh"
+
+namespace swp
+{
+
+/**
+ * Strongly connected components of the DDG (all live edges considered,
+ * regardless of distance). Components with more than one node, or with a
+ * self-edge, are recurrences.
+ */
+struct SccResult
+{
+    /** Component index per node, in reverse topological discovery order. */
+    std::vector<int> compOf;
+    /** Nodes of each component. */
+    std::vector<std::vector<NodeId>> comps;
+
+    /** True if the component is a recurrence (cycle through it). */
+    std::vector<bool> isRecurrence;
+
+    int numComps() const { return int(comps.size()); }
+};
+
+/** Tarjan SCC over live edges. */
+SccResult stronglyConnectedComponents(const Ddg &g);
+
+/**
+ * Topological order of all nodes treating the graph as acyclic by
+ * ignoring edges internal to a recurrence that would close a cycle
+ * (formally: a topological order of the condensation expanded with an
+ * arbitrary consistent order inside each component).
+ */
+std::vector<NodeId> topologicalOrder(const Ddg &g);
+
+/**
+ * Topological order of the loop-independent subgraph: only edges with
+ * distance zero are honoured. Single-iteration semantics require this
+ * order to exist; verifyDdg() checks it.
+ */
+std::vector<NodeId> topologicalOrderIntraIteration(const Ddg &g);
+
+/** Bit-matrix reachability (live edges). result[u][v] = u reaches v. */
+std::vector<std::vector<bool>> reachability(const Ddg &g);
+
+} // namespace swp
+
+#endif // SWP_IR_GRAPH_ALGO_HH

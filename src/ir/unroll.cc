@@ -1,0 +1,73 @@
+#include "ir/unroll.hh"
+
+#include "ir/verify.hh"
+#include "support/diag.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+Ddg
+unrollLoop(const Ddg &g, int factor)
+{
+    SWP_ASSERT(factor >= 1, "unroll factor must be >= 1");
+    if (factor == 1)
+        return g;
+
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        SWP_ASSERT(g.node(n).origin == NodeOrigin::Original,
+                   "unroll expects a pre-spill graph");
+    }
+
+    Ddg out(strprintf("%s_x%d", g.name().c_str(), factor));
+
+    // Copies of every node: copy j of node n is n*factor + j... keep a
+    // table instead of arithmetic so the mapping stays explicit.
+    std::vector<std::vector<NodeId>> copyOf(
+        std::size_t(g.numNodes()));
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (int j = 0; j < factor; ++j) {
+            copyOf[std::size_t(n)].push_back(out.addNode(
+                g.node(n).op,
+                strprintf("%s#%d", g.node(n).name.c_str(), j)));
+        }
+    }
+
+    // Invariants are shared by all copies.
+    std::vector<InvId> invOf;
+    for (InvId i = 0; i < g.numInvariants(); ++i)
+        invOf.push_back(out.addInvariant(g.invariant(i).name));
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (InvId i : g.node(n).invariantUses) {
+            for (int j = 0; j < factor; ++j) {
+                out.addInvariantUse(invOf[std::size_t(i)],
+                                    copyOf[std::size_t(n)][
+                                        std::size_t(j)]);
+            }
+        }
+    }
+
+    // Remap dependences per copy.
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (!edge.alive)
+            continue;
+        for (int j = 0; j < factor; ++j) {
+            const int srcCopy =
+                ((j - edge.distance) % factor + factor) % factor;
+            const int newDist =
+                (srcCopy - j + edge.distance) / factor;
+            out.addEdge(copyOf[std::size_t(edge.src)][
+                            std::size_t(srcCopy)],
+                        copyOf[std::size_t(edge.dst)][std::size_t(j)],
+                        edge.kind, newDist);
+        }
+    }
+
+    std::string why;
+    SWP_ASSERT(verifyDdg(out, &why), "unroll produced a bad graph: ",
+               why);
+    return out;
+}
+
+} // namespace swp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Loop unrolling as a pre-pass to software pipelining.
+ *
+ * Unrolling by U replicates the body so one "unrolled iteration"
+ * executes U original iterations. It can tighten fractional resource
+ * bounds (ResMII of the unrolled loop approaches U times the true
+ * rational bound) and amortize loop-carried critical paths, at the
+ * price of U times the code and roughly U times the register pressure
+ * per kernel — the trade-off the sweep_unroll bench quantifies against
+ * the register-constrained pipeliner.
+ *
+ * Dependence remapping: copy j of consumer v reading producer u at
+ * distance d takes its value from copy (j - d) mod U of u, at unrolled
+ * distance ((j - d) mod U - j + d) / U.
+ */
+
+#ifndef SWP_IR_UNROLL_HH
+#define SWP_IR_UNROLL_HH
+
+#include "ir/ddg.hh"
+
+namespace swp
+{
+
+/**
+ * Unroll a loop by `factor` (>= 1). The input must be an original
+ * (not yet spill-rewritten) graph; spill artifacts would need their
+ * slot semantics replicated and are rejected.
+ */
+Ddg unrollLoop(const Ddg &g, int factor);
+
+} // namespace swp
+
+#endif // SWP_IR_UNROLL_HH

@@ -1,0 +1,118 @@
+#include "ir/verify.hh"
+
+#include <algorithm>
+
+#include "ir/graph_algo.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+bool
+fail(std::string *why, const std::string &msg)
+{
+    if (why)
+        *why = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+verifyDdg(const Ddg &g, std::string *why)
+{
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (!edge.alive)
+            continue;
+        if (edge.src < 0 || edge.src >= g.numNodes() || edge.dst < 0 ||
+            edge.dst >= g.numNodes()) {
+            return fail(why, strprintf("edge %d has bad endpoints", e));
+        }
+        if (edge.distance < 0)
+            return fail(why, strprintf("edge %d has negative distance", e));
+        if (edge.kind == DepKind::RegFlow &&
+            !producesValue(g.node(edge.src).op)) {
+            return fail(why, strprintf(
+                "reg-flow edge %d from non-producing node %s", e,
+                g.node(edge.src).name.c_str()));
+        }
+        if (edge.nonSpillable) {
+            if (edge.kind != DepKind::RegFlow || edge.distance != 0) {
+                return fail(why, strprintf(
+                    "fused edge %d must be reg-flow with distance 0", e));
+            }
+        }
+    }
+
+    // An iteration must be executable: zero-distance edges acyclic.
+    {
+        const int n = g.numNodes();
+        std::vector<int> indeg(std::size_t(n), 0);
+        for (EdgeId e = 0; e < g.numEdges(); ++e) {
+            const Edge &edge = g.edge(e);
+            if (edge.alive && edge.distance == 0)
+                ++indeg[std::size_t(edge.dst)];
+        }
+        std::vector<NodeId> ready;
+        for (NodeId u = 0; u < n; ++u) {
+            if (indeg[std::size_t(u)] == 0)
+                ready.push_back(u);
+        }
+        std::size_t seen = 0;
+        while (seen < ready.size()) {
+            const NodeId u = ready[seen++];
+            for (EdgeId e : g.outEdges(u)) {
+                const Edge &edge = g.edge(e);
+                if (edge.distance != 0)
+                    continue;
+                if (--indeg[std::size_t(edge.dst)] == 0)
+                    ready.push_back(edge.dst);
+            }
+        }
+        if (int(seen) != n)
+            return fail(why, "zero-distance dependence cycle");
+    }
+
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        const Node &node = g.node(n);
+        const bool is_spill_load = node.origin == NodeOrigin::SpillLoad;
+        const bool has_ref = node.spillRef.kind != SpillRef::Kind::None;
+        if (is_spill_load && !has_ref) {
+            return fail(why, strprintf(
+                "spill load %s lacks a SpillRef", node.name.c_str()));
+        }
+        if (!is_spill_load && has_ref) {
+            return fail(why, strprintf(
+                "non-spill-load %s carries a SpillRef", node.name.c_str()));
+        }
+        for (InvId inv : node.invariantUses) {
+            if (inv < 0 || inv >= g.numInvariants())
+                return fail(why, strprintf("node %d uses bad invariant", n));
+            const auto &consumers = g.invariant(inv).consumers;
+            if (std::count(consumers.begin(), consumers.end(), n) < 1) {
+                return fail(why, strprintf(
+                    "invariant %d does not list node %d as consumer",
+                    inv, n));
+            }
+        }
+    }
+
+    for (InvId i = 0; i < g.numInvariants(); ++i) {
+        for (NodeId c : g.invariant(i).consumers) {
+            if (c < 0 || c >= g.numNodes())
+                return fail(why, strprintf("invariant %d bad consumer", i));
+            const auto &uses = g.node(c).invariantUses;
+            if (std::count(uses.begin(), uses.end(), i) < 1) {
+                return fail(why, strprintf(
+                    "node %d does not list invariant %d as used", c, i));
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace swp

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Structural validation of DDGs.
+ */
+
+#ifndef SWP_IR_VERIFY_HH
+#define SWP_IR_VERIFY_HH
+
+#include <string>
+
+#include "ir/ddg.hh"
+
+namespace swp
+{
+
+/**
+ * Check the structural invariants of a loop graph:
+ *  - register flow edges originate at value-producing operations;
+ *  - no zero-distance dependence cycle (an iteration must be executable);
+ *  - spill loads carry a semantic SpillRef, non-spill loads do not;
+ *  - non-spillable (fused) edges are register-flow edges of distance 0;
+ *  - invariant consumer lists and node invariant-use lists agree.
+ *
+ * @param g    Graph to check.
+ * @param why  When non-null, receives a description of the first failure.
+ * @return     True if all invariants hold.
+ */
+bool verifyDdg(const Ddg &g, std::string *why = nullptr);
+
+} // namespace swp
+
+#endif // SWP_IR_VERIFY_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lifetime analysis of modulo schedules (Sections 2.3 and 2.4).
+ *
+ * A loop-variant value is alive from the issue cycle of its producer to
+ * the issue cycle of its last consumer (the paper's execution model).
+ * Its lifetime decomposes into a scheduling component
+ * LTSch = t(last consumer) - t(producer) and a distance component
+ * LTDist = delta(producer, last consumer) * II; the distance component
+ * is what the increase-II strategy can never shrink.
+ *
+ * Overlapping the lifetimes of consecutive iterations yields a pressure
+ * pattern of length II whose maximum, MaxLive, closely approximates the
+ * register requirement of the schedule.
+ */
+
+#ifndef SWP_LIFERANGE_LIFETIMES_HH
+#define SWP_LIFERANGE_LIFETIMES_HH
+
+#include <vector>
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/** Lifetime of one loop-variant value. */
+struct Lifetime
+{
+    NodeId producer = invalidNode;
+    bool live = false;     ///< Produces a value with at least one use.
+    int start = 0;         ///< Issue cycle of the producer.
+    int end = 0;           ///< Issue cycle (+II*dist) of the last consumer.
+    int schedComponent = 0;  ///< LTSch of the critical (last) consumer.
+    int distComponent = 0;   ///< LTDist of the critical consumer.
+
+    /** Use edge realizing `end` (the critical consumer). */
+    EdgeId lastUse = -1;
+
+    /**
+     * Read cycle of the latest *other* use; equals `start` for
+     * single-use values. `end - secondEnd` is the live-range shrink of
+     * spilling only the critical use (Section 6 extension).
+     */
+    int secondEnd = 0;
+
+    int length() const { return end - start; }
+};
+
+/** Lifetimes and register pressure of a complete schedule. */
+struct LifetimeInfo
+{
+    int ii = 0;
+    /** Indexed by producing node; `live` false for non-values. */
+    std::vector<Lifetime> lifetimes;
+    /** Loop-variant values live per kernel row. */
+    std::vector<int> pressure;
+    /** max(pressure): register bound for loop variants. */
+    int maxLive = 0;
+    /** Live (non-spilled) loop invariants: one register each. */
+    int invariantCount = 0;
+
+    /** MaxLive plus invariant registers. */
+    int totalRegisterBound() const { return maxLive + invariantCount; }
+
+    const Lifetime &
+    of(NodeId n) const
+    {
+        return lifetimes[std::size_t(n)];
+    }
+};
+
+/** Compute lifetimes, pressure pattern and MaxLive for a schedule. */
+LifetimeInfo analyzeLifetimes(const Ddg &g, const Schedule &sched);
+
+/**
+ * Sum of loop-variant lifetime lengths: a lower bound on the register
+ * cycles consumed per kernel iteration; ceil(sum / II) lower-bounds the
+ * rotating register count.
+ */
+long totalLifetime(const LifetimeInfo &info);
+
+/**
+ * Modulo-variable-expansion unroll factor: the number of simultaneous
+ * instances of the most enduring value, max_v ceil(LT_v / II)
+ * (minimum 1). Section 2.3 / Lam 1988.
+ */
+int mveUnrollFactor(const LifetimeInfo &lifetimes);
+
+} // namespace swp
+
+#endif // SWP_LIFERANGE_LIFETIMES_HH

@@ -1,0 +1,127 @@
+#include "liferange/stagesched.hh"
+
+#include <algorithm>
+
+#include "liferange/lifetimes.hh"
+#include "sched/groups.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/**
+ * Feasible stage-shift range [kmin, kmax] for one group: every
+ * dependence touching the group must stay satisfied when all members
+ * move by k*II. Fused edges are intra-group and unaffected.
+ */
+std::pair<long, long>
+shiftRange(const Ddg &g, const Machine &m, const GroupSet &groups,
+           const Schedule &sched, int gi)
+{
+    const int ii = sched.ii();
+    // Moving past the schedule span cannot shorten any lifetime.
+    const long cap = sched.stageCount() + 1;
+    long kmin = -cap, kmax = cap;
+    for (NodeId v : groups.group(gi).members) {
+        for (EdgeId e : g.inEdges(v)) {
+            const Edge &edge = g.edge(e);
+            if (groups.groupOf(edge.src) == gi)
+                continue;
+            // t(v) + k*II >= t(u) + lat - II*dist.
+            const long slack = sched.time(v) -
+                               (sched.time(edge.src) +
+                                m.latency(g.node(edge.src).op) -
+                                long(ii) * edge.distance);
+            kmin = std::max(kmin, -(slack / ii) - (slack < 0 ? 1 : 0));
+        }
+        for (EdgeId e : g.outEdges(v)) {
+            const Edge &edge = g.edge(e);
+            if (groups.groupOf(edge.dst) == gi)
+                continue;
+            // t(w) >= t(v) + k*II + lat - II*dist.
+            const long slack = sched.time(edge.dst) -
+                               (sched.time(v) +
+                                m.latency(g.node(v).op) -
+                                long(ii) * edge.distance);
+            kmax = std::min(kmax, slack / ii - (slack < 0 ? 1 : 0));
+        }
+    }
+    return {kmin, kmax};
+}
+
+/** Apply a stage shift to a group. */
+void
+applyShift(const GroupSet &groups, Schedule &sched, int gi, long k)
+{
+    for (NodeId v : groups.group(gi).members)
+        sched.set(v, sched.time(v) + int(k) * sched.ii(), sched.unit(v));
+}
+
+} // namespace
+
+StageSchedResult
+stageSchedule(const Ddg &g, const Machine &m, const Schedule &sched)
+{
+    SWP_ASSERT(sched.complete(), "stage scheduling needs a full schedule");
+
+    StageSchedResult result;
+    result.sched = sched;
+    result.maxLiveBefore = analyzeLifetimes(g, sched).maxLive;
+
+    const GroupSet groups(g, m);
+    Schedule &work = result.sched;
+
+    long best = totalLifetime(analyzeLifetimes(g, work));
+    bool improved = true;
+    int pass = 0;
+    while (improved && pass++ < 8) {
+        improved = false;
+        for (int gi = 0; gi < groups.numGroups(); ++gi) {
+            const auto [kmin, kmax] =
+                shiftRange(g, m, groups, work, gi);
+            if (kmin > kmax || (kmin == 0 && kmax == 0))
+                continue;
+            long bestK = 0;
+            long bestTotal = best;
+            for (long k = kmin; k <= kmax; ++k) {
+                if (k == 0)
+                    continue;
+                applyShift(groups, work, gi, k);
+                const long total =
+                    totalLifetime(analyzeLifetimes(g, work));
+                if (total < bestTotal) {
+                    bestTotal = total;
+                    bestK = k;
+                }
+                applyShift(groups, work, gi, -k);
+            }
+            if (bestK != 0) {
+                applyShift(groups, work, gi, bestK);
+                best = bestTotal;
+                ++result.moves;
+                improved = true;
+            }
+        }
+    }
+
+    work.normalize();
+
+    // Never accept a pessimization of the register bound; shorter total
+    // lifetime almost always means smaller MaxLive, but not strictly.
+    result.maxLiveAfter = analyzeLifetimes(g, work).maxLive;
+    if (result.maxLiveAfter > result.maxLiveBefore) {
+        result.sched = sched;
+        result.maxLiveAfter = result.maxLiveBefore;
+        result.moves = 0;
+    }
+
+    std::string why;
+    SWP_ASSERT(validateSchedule(g, m, result.sched, &why),
+               "stage scheduling broke the schedule: ", why);
+    return result;
+}
+
+} // namespace swp

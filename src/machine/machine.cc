@@ -1,0 +1,125 @@
+#include "machine/machine.hh"
+
+#include <sstream>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** Latencies common to every Section 5 configuration. */
+void
+setCommonLatencies(int latency[numOpcodes], int add_mul_latency)
+{
+    latency[int(Opcode::Load)] = 2;
+    latency[int(Opcode::Store)] = 1;
+    latency[int(Opcode::Add)] = add_mul_latency;
+    latency[int(Opcode::Mul)] = add_mul_latency;
+    latency[int(Opcode::Div)] = 17;
+    latency[int(Opcode::Sqrt)] = 30;
+    latency[int(Opcode::Copy)] = 1;
+    latency[int(Opcode::Nop)] = 1;
+    latency[int(Opcode::Select)] = 1;
+}
+
+} // namespace
+
+Machine::Machine(std::string name, int mem_units, int adders, int mults,
+                 int divsqrt_units, int add_mul_latency)
+{
+    SWP_ASSERT(mem_units > 0 && adders > 0 && mults > 0 &&
+                   divsqrt_units > 0,
+               "machine '", name, "' needs at least one unit per class");
+    name_ = std::move(name);
+    units_[int(FuClass::Mem)] = mem_units;
+    units_[int(FuClass::Adder)] = adders;
+    units_[int(FuClass::Mult)] = mults;
+    units_[int(FuClass::DivSqrt)] = divsqrt_units;
+    pipelined_[int(FuClass::Mem)] = true;
+    pipelined_[int(FuClass::Adder)] = true;
+    pipelined_[int(FuClass::Mult)] = true;
+    pipelined_[int(FuClass::DivSqrt)] = false;
+    setCommonLatencies(latency_, add_mul_latency);
+}
+
+Machine
+Machine::universal(std::string name, int units, int lat)
+{
+    SWP_ASSERT(units > 0, "universal machine needs at least one unit");
+    Machine m;
+    m.name_ = std::move(name);
+    m.universal_ = true;
+    m.universalUnits_ = units;
+    for (int op = 0; op < numOpcodes; ++op)
+        m.latency_[op] = lat;
+    return m;
+}
+
+Machine
+Machine::p1l4()
+{
+    return Machine("P1L4", 1, 1, 1, 1, 4);
+}
+
+Machine
+Machine::p2l4()
+{
+    return Machine("P2L4", 2, 2, 2, 2, 4);
+}
+
+Machine
+Machine::p2l6()
+{
+    return Machine("P2L6", 2, 2, 2, 2, 6);
+}
+
+void
+Machine::setLatency(Opcode op, int cycles)
+{
+    SWP_ASSERT(cycles >= 1, "latency must be positive");
+    latency_[int(op)] = cycles;
+}
+
+void
+Machine::setPipelined(FuClass fu, bool pipelined)
+{
+    pipelined_[int(fu)] = pipelined;
+}
+
+int
+Machine::totalUnits() const
+{
+    if (universal_)
+        return universalUnits_;
+    int total = 0;
+    for (int fu = 0; fu < numFuClasses; ++fu)
+        total += units_[fu];
+    return total;
+}
+
+std::string
+Machine::describe() const
+{
+    std::ostringstream os;
+    os << name_ << ": ";
+    if (universal_) {
+        os << universalUnits_ << " universal units, latency "
+           << latency_[int(Opcode::Add)];
+        return os.str();
+    }
+    os << units_[int(FuClass::Mem)] << " mem, "
+       << units_[int(FuClass::Adder)] << " add, "
+       << units_[int(FuClass::Mult)] << " mul, "
+       << units_[int(FuClass::DivSqrt)] << " div/sqrt (non-pipelined); "
+       << "latencies: ld " << latency_[int(Opcode::Load)] << ", st "
+       << latency_[int(Opcode::Store)] << ", add/mul "
+       << latency_[int(Opcode::Add)] << ", div "
+       << latency_[int(Opcode::Div)] << ", sqrt "
+       << latency_[int(Opcode::Sqrt)];
+    return os.str();
+}
+
+} // namespace swp

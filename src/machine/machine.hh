@@ -1,0 +1,108 @@
+/**
+ * @file
+ * VLIW machine descriptions.
+ *
+ * Section 5 of the paper evaluates three functional-unit configurations:
+ *
+ *  - P1L4: 1 load/store, 1 div/sqrt, 1 adder, 1 multiplier; adder and
+ *    multiplier latency 4.
+ *  - P2L4: two units of each kind, same latencies.
+ *  - P2L6: like P2L4 with adder/multiplier latency 6.
+ *
+ * All configurations share: store latency 1, load latency 2, divide 17,
+ * square root 30. All units are fully pipelined except the div/sqrt
+ * units, which are not pipelined at all.
+ *
+ * The worked example of Figure 2 uses a fourth shape: N universal units
+ * on which every operation executes with a uniform latency; `universal`
+ * models that.
+ */
+
+#ifndef SWP_MACHINE_MACHINE_HH
+#define SWP_MACHINE_MACHINE_HH
+
+#include <string>
+
+#include "ir/opcode.hh"
+
+namespace swp
+{
+
+constexpr int numOpcodes = 9;
+
+/** A VLIW machine configuration. */
+class Machine
+{
+  public:
+    /** Build a heterogeneous machine (P1L4-style shape). */
+    Machine(std::string name, int mem_units, int adders, int mults,
+            int divsqrt_units, int add_mul_latency);
+
+    /** Build a machine of `units` universal FUs, all latencies `lat`. */
+    static Machine universal(std::string name, int units, int lat);
+
+    /** @name The paper's Section 5 configurations. */
+    /// @{
+    static Machine p1l4();
+    static Machine p2l4();
+    static Machine p2l6();
+    /// @}
+
+    const std::string &name() const { return name_; }
+
+    /** True if every op may execute on any unit (Figure 2 example). */
+    bool isUniversal() const { return universal_; }
+
+    /** Units available for an operation of the given class. */
+    int
+    unitsFor(FuClass fu) const
+    {
+        return universal_ ? universalUnits_ : units_[int(fu)];
+    }
+
+    /** Issue latency of an opcode in cycles. */
+    int latency(Opcode op) const { return latency_[int(op)]; }
+
+    /** True if units of this class accept one op per cycle. */
+    bool
+    pipelinedClass(FuClass fu) const
+    {
+        return universal_ ? true : pipelined_[int(fu)];
+    }
+
+    /**
+     * Cycles an op occupies its unit: 1 when pipelined, otherwise its
+     * full latency (the div/sqrt units of the paper).
+     */
+    int
+    occupancy(Opcode op) const
+    {
+        return pipelinedClass(fuClassOf(op)) ? 1 : latency(op);
+    }
+
+    /** Override one opcode's latency (used by tests and what-if studies). */
+    void setLatency(Opcode op, int cycles);
+
+    /** Override the pipelining of one unit class. */
+    void setPipelined(FuClass fu, bool pipelined);
+
+    /** Total number of functional units (issue width). */
+    int totalUnits() const;
+
+    /** Human-readable description. */
+    std::string describe() const;
+
+  private:
+    Machine() = default;
+
+    std::string name_;
+    bool universal_ = false;
+    int universalUnits_ = 0;
+    int units_[numFuClasses] = {0, 0, 0, 0};
+    bool pipelined_[numFuClasses] = {true, true, true, false};
+    int latency_[numOpcodes] = {0};
+};
+
+} // namespace swp
+
+#endif // SWP_MACHINE_MACHINE_HH

@@ -1,0 +1,95 @@
+#include "pipeliner/best_of_all.hh"
+
+#include <optional>
+
+#include "pipeliner/spill_pipeline.hh"
+#include "sched/mii.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** Schedule the original loop at exactly ii and allocate. */
+struct Attempt
+{
+    Schedule sched;
+    AllocationOutcome alloc;
+};
+
+std::optional<Attempt>
+tryOriginalAt(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
+              ModuloScheduler &scheduler, int ii, int *attempts)
+{
+    ++*attempts;
+    auto sched = scheduler.scheduleAt(g, m, ii);
+    if (!sched)
+        return std::nullopt;
+    Attempt a;
+    a.alloc = allocateLoop(g, *sched, opts.registers, opts.fit);
+    a.sched = std::move(*sched);
+    if (!a.alloc.fits)
+        return std::nullopt;
+    return a;
+}
+
+} // namespace
+
+PipelineResult
+bestOfAllStrategy(const Ddg &g, const Machine &m,
+                  const PipelinerOptions &opts)
+{
+    PipelineResult spill = spillStrategy(g, m, opts);
+    spill.strategy = "best-of-all";
+    if (!spill.success || spill.usedFallback)
+        return spill;
+    if (spill.spilledLifetimes == 0) {
+        // No register pressure problem: the spill result is already the
+        // plain schedule of the original loop.
+        return spill;
+    }
+
+    auto scheduler = makeScheduler(opts.scheduler);
+    int attempts = spill.attempts;
+
+    // Test the original loop at the II spilling needed. If it fits
+    // there, a schedule at some II <= II_spill without memory traffic
+    // beats (or equals) the spill result; binary-search the smallest.
+    const int iiSpill = spill.ii();
+    auto atSpillIi =
+        tryOriginalAt(g, m, opts, *scheduler, iiSpill, &attempts);
+    if (!atSpillIi) {
+        spill.attempts = attempts;
+        return spill;
+    }
+
+    const int lower = mii(g, m);
+    int lo = lower;
+    int hi = iiSpill;
+    Attempt best = std::move(*atSpillIi);
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        auto a = tryOriginalAt(g, m, opts, *scheduler, mid, &attempts);
+        if (a) {
+            best = std::move(*a);
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    PipelineResult result;
+    result.success = true;
+    result.strategy = "best-of-all";
+    result.graph = g;
+    result.sched = std::move(best.sched);
+    result.alloc = std::move(best.alloc);
+    result.mii = lower;
+    result.spilledLifetimes = 0;
+    result.rounds = spill.rounds;
+    result.attempts = attempts;
+    return result;
+}
+
+} // namespace swp

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The combined strategy proposed at the end of Section 5.
+ *
+ * Run the spilling pipeline; when it converges at II_spill, test whether
+ * the original loop (without spill code) also fits the registers at
+ * II_spill — if it does, binary-search the smallest such II in
+ * [MII, II_spill] and keep whichever result is better. This captures the
+ * few loops where increasing the II beats spilling, at the cost of one
+ * extra schedule for most loops.
+ */
+
+#ifndef SWP_PIPELINER_BEST_OF_ALL_HH
+#define SWP_PIPELINER_BEST_OF_ALL_HH
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "pipeliner/options.hh"
+#include "pipeliner/result.hh"
+
+namespace swp
+{
+
+/** Run the combined spill + increase-II strategy. */
+PipelineResult bestOfAllStrategy(const Ddg &g, const Machine &m,
+                                 const PipelinerOptions &opts);
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_BEST_OF_ALL_HH

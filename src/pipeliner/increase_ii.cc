@@ -1,0 +1,64 @@
+#include "pipeliner/increase_ii.hh"
+
+#include "sched/acyclic.hh"
+#include "sched/mii.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+PipelineResult
+increaseIiStrategy(const Ddg &g, const Machine &m,
+                   const PipelinerOptions &opts)
+{
+    PipelineResult result;
+    result.strategy = "increase-II";
+    result.graph = g;
+    result.mii = mii(g, m);
+
+    auto scheduler = makeScheduler(opts.scheduler);
+
+    // Beyond the single-stage schedule length, increasing II cannot
+    // reduce registers any further: only distance components and
+    // invariants remain, and those are II-independent or grow with it.
+    const Schedule acyclic = scheduleAcyclic(g, m);
+    const int limit = acyclic.ii();
+
+    for (int ii = result.mii; ii <= limit; ++ii) {
+        ++result.attempts;
+        ++result.rounds;
+        auto sched = scheduler->scheduleAt(g, m, ii);
+        if (!sched)
+            continue;
+        AllocationOutcome alloc =
+            allocateLoop(g, *sched, opts.registers, opts.fit);
+        if (alloc.fits) {
+            result.success = true;
+            result.sched = std::move(*sched);
+            result.alloc = std::move(alloc);
+            return result;
+        }
+    }
+
+    // Divergent: fall back to local (acyclic) scheduling.
+    result.usedFallback = true;
+    result.sched = acyclic;
+    result.alloc = allocateLoop(g, acyclic, opts.registers, opts.fit);
+    result.success = result.alloc.fits;
+    return result;
+}
+
+int
+registersAtIi(const Ddg &g, const Machine &m, int ii,
+              const PipelinerOptions &opts)
+{
+    auto scheduler = makeScheduler(opts.scheduler);
+    auto sched = scheduler->scheduleAt(g, m, ii);
+    if (!sched)
+        return -1;
+    const AllocationOutcome alloc =
+        allocateLoop(g, *sched, opts.registers, opts.fit);
+    return alloc.regsRequired;
+}
+
+} // namespace swp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The increase-II strategy (Section 3).
+ *
+ * Reschedule the loop at successively larger initiation intervals until
+ * the register allocator finds a solution within the budget. Larger IIs
+ * shrink the scheduling component of lifetimes (fewer overlapped
+ * iterations) but the distance component grows proportionally to II and
+ * loop invariants always need their register, so for some loops this
+ * strategy never converges; the driver detects that by bounding the
+ * search at the acyclic (single-stage) schedule length, beyond which no
+ * register reduction is possible, and falls back to local scheduling as
+ * the Cydra 5 compiler did.
+ */
+
+#ifndef SWP_PIPELINER_INCREASE_II_HH
+#define SWP_PIPELINER_INCREASE_II_HH
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "pipeliner/options.hh"
+#include "pipeliner/result.hh"
+
+namespace swp
+{
+
+/** Run the increase-II strategy. */
+PipelineResult increaseIiStrategy(const Ddg &g, const Machine &m,
+                                  const PipelinerOptions &opts);
+
+/**
+ * One point of the Figure 4 sweep: the register requirement of the best
+ * schedule at exactly this II, or -1 when the scheduler fails there.
+ */
+int registersAtIi(const Ddg &g, const Machine &m, int ii,
+                  const PipelinerOptions &opts);
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_INCREASE_II_HH

@@ -1,0 +1,67 @@
+#include "pipeliner/pipeliner.hh"
+
+#include <limits>
+
+#include "sched/ii_search.hh"
+#include "sched/mii.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::IncreaseII: return "increase-II";
+      case Strategy::Spill: return "spill";
+      case Strategy::BestOfAll: return "best-of-all";
+    }
+    SWP_PANIC("unknown strategy ", int(s));
+}
+
+PipelineResult
+pipelineLoop(const Ddg &g, const Machine &m, Strategy s,
+             const PipelinerOptions &opts)
+{
+    switch (s) {
+      case Strategy::IncreaseII:
+        return increaseIiStrategy(g, m, opts);
+      case Strategy::Spill:
+        return spillStrategy(g, m, opts);
+      case Strategy::BestOfAll:
+        return bestOfAllStrategy(g, m, opts);
+    }
+    SWP_PANIC("unknown strategy ", int(s));
+}
+
+PipelineResult
+pipelineIdeal(const Ddg &g, const Machine &m, SchedulerKind kind)
+{
+    PipelineResult result;
+    result.strategy = "ideal";
+    result.graph = g;
+    result.mii = mii(g, m);
+
+    auto scheduler = makeScheduler(kind);
+    IiSearchResult search = searchIi(*scheduler, g, m, result.mii);
+    result.attempts = search.attempts;
+    if (!search.sched && kind != SchedulerKind::Ims) {
+        // Same safety net as the spilling driver: IMS backtracks
+        // through placements a non-backtracking order cannot finish.
+        auto ims = makeScheduler(SchedulerKind::Ims);
+        search = searchIi(*ims, g, m, result.mii);
+        result.attempts += search.attempts;
+    }
+    SWP_ASSERT(search.sched.has_value(),
+               "no schedule found for loop '", g.name(),
+               "' at any II — scheduler bug");
+    result.sched = std::move(*search.sched);
+    result.alloc = allocateLoop(g, result.sched,
+                                std::numeric_limits<int>::max() / 2,
+                                FitStrategy::EndFit);
+    result.success = true;
+    return result;
+}
+
+} // namespace swp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Result of register-constrained pipelining.
+ */
+
+#ifndef SWP_PIPELINER_RESULT_HH
+#define SWP_PIPELINER_RESULT_HH
+
+#include <string>
+
+#include "ir/ddg.hh"
+#include "regalloc/rotalloc.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/** Outcome of one driver strategy on one loop. */
+struct PipelineResult
+{
+    /** The schedule fits the register budget. */
+    bool success = false;
+
+    /** The acyclic (local scheduling) fallback was used. */
+    bool usedFallback = false;
+
+    /** The (possibly spill-transformed) graph the schedule refers to. */
+    Ddg graph;
+
+    /** Final schedule (valid for `graph`). */
+    Schedule sched;
+
+    /** Register allocation of the final schedule. */
+    AllocationOutcome alloc;
+
+    /** MII of the final graph. */
+    int mii = 0;
+
+    /** Lifetimes spilled in total. */
+    int spilledLifetimes = 0;
+
+    /** Rescheduling rounds (spilling) or IIs tried (increase-II). */
+    int rounds = 0;
+
+    /** Total (II, schedule) attempts, the compile-effort proxy. */
+    int attempts = 0;
+
+    /** Strategy label for reports. */
+    std::string strategy;
+
+    int ii() const { return sched.ii(); }
+
+    /** Memory operations executed per iteration. */
+    int memOpsPerIteration() const { return graph.numMemOps(); }
+};
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_RESULT_HH

@@ -1,0 +1,121 @@
+#include "pipeliner/spill_pipeline.hh"
+
+#include <algorithm>
+
+#include "sched/acyclic.hh"
+#include "sched/ii_search.hh"
+#include "sched/mii.hh"
+#include "spill/insert.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+PipelineResult
+spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
+              const SpillRoundObserver &observer)
+{
+    PipelineResult result;
+    result.strategy = "spill";
+    result.graph = g;
+
+    auto scheduler = makeScheduler(opts.scheduler);
+
+    Ddg work = g;
+    int prevIi = 0;
+
+    for (int round = 1; round <= opts.maxSpillRounds; ++round) {
+        const int curMii = mii(work, m);
+        const int startIi =
+            opts.reuseLastIi ? std::max(curMii, prevIi) : curMii;
+
+        IiSearchResult search = searchIi(*scheduler, work, m, startIi);
+        result.attempts += search.attempts;
+        result.rounds = round;
+
+        if (!search.sched && opts.scheduler != SchedulerKind::Ims) {
+            // Safety net: HRMS's non-backtracking placement can fail on
+            // pathological group topologies at every II; IMS's eviction
+            // mechanism handles those, at some register-quality cost.
+            auto ims = makeScheduler(SchedulerKind::Ims);
+            search = searchIi(*ims, work, m, startIi);
+            result.attempts += search.attempts;
+        }
+        if (!search.sched) {
+            // No scheduler could place the transformed loop at any II;
+            // fall back to local scheduling of the original loop.
+            break;
+        }
+
+        Schedule sched = std::move(*search.sched);
+        prevIi = sched.ii();
+        AllocationOutcome alloc =
+            allocateLoop(work, sched, opts.registers, opts.fit);
+
+        if (observer) {
+            SpillRoundInfo info;
+            info.round = round;
+            info.ii = sched.ii();
+            info.mii = curMii;
+            info.regsRequired = alloc.regsRequired;
+            info.memOps = work.numMemOps();
+            info.spilledSoFar = result.spilledLifetimes;
+            observer(info);
+        }
+
+        if (alloc.fits) {
+            result.success = true;
+            result.graph = std::move(work);
+            result.sched = std::move(sched);
+            result.alloc = std::move(alloc);
+            result.mii = curMii;
+            return result;
+        }
+
+        const LifetimeInfo lifetimes = analyzeLifetimes(work, sched);
+        const auto candidates =
+            spillCandidates(work, lifetimes, opts.spillUses);
+        if (candidates.empty()) {
+            // Nothing left to spill: every lifetime is already a spill
+            // artifact. Keep the best schedule we have.
+            result.graph = std::move(work);
+            result.sched = std::move(sched);
+            result.alloc = std::move(alloc);
+            result.mii = curMii;
+            return result;
+        }
+
+        std::vector<SpillCandidate> picks;
+        if (opts.multiSelect) {
+            picks = selectMultiple(candidates, opts.heuristic, lifetimes,
+                                   opts.registers);
+        } else if (auto one = selectOne(candidates, opts.heuristic)) {
+            picks.push_back(*one);
+        }
+        SWP_ASSERT(!picks.empty(), "spill selection returned nothing");
+        for (const SpillCandidate &pick : picks) {
+            insertSpill(work, m, pick);
+            ++result.spilledLifetimes;
+        }
+        if (!opts.fuseSpillOps) {
+            // Ablation: drop the complex-operation constraint; spill
+            // code is scheduled like any other operation.
+            for (EdgeId e = 0; e < work.numEdges(); ++e) {
+                if (work.edge(e).alive)
+                    work.edge(e).nonSpillable = false;
+            }
+        }
+    }
+
+    // Convergence failure (or scheduling failure): local scheduling of
+    // the original loop, like the Cydra 5 compiler's last resort.
+    result.usedFallback = true;
+    result.graph = g;
+    result.sched = scheduleAcyclic(g, m);
+    result.alloc = allocateLoop(g, result.sched, opts.registers, opts.fit);
+    result.mii = mii(g, m);
+    result.success = result.alloc.fits;
+    return result;
+}
+
+} // namespace swp

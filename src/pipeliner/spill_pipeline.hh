@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The iterative spilling strategy (Section 4, Figure 1b).
+ *
+ * Schedule, allocate; while the allocation exceeds the budget, select
+ * lifetimes with the configured heuristic, rewrite the graph with spill
+ * code, and reschedule. Rescheduling is unavoidable because the added
+ * loads/stores rarely fit the existing compact schedule. The
+ * non-spillable marking and complex-operation fusion done by the
+ * inserter guarantee the process converges (Section 4.3); the
+ * multi-select and last-II heuristics (Section 4.5) trade a little
+ * schedule quality for a large reduction in scheduling time.
+ */
+
+#ifndef SWP_PIPELINER_SPILL_PIPELINE_HH
+#define SWP_PIPELINER_SPILL_PIPELINE_HH
+
+#include <functional>
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "pipeliner/options.hh"
+#include "pipeliner/result.hh"
+
+namespace swp
+{
+
+/** Observer invoked after each round (used by the Figure 7 bench). */
+struct SpillRoundInfo
+{
+    int round = 0;
+    int ii = 0;
+    int mii = 0;
+    int regsRequired = 0;
+    int memOps = 0;
+    int spilledSoFar = 0;
+};
+
+using SpillRoundObserver = std::function<void(const SpillRoundInfo &)>;
+
+/** Run the iterative spilling strategy. */
+PipelineResult spillStrategy(const Ddg &g, const Machine &m,
+                             const PipelinerOptions &opts,
+                             const SpillRoundObserver &observer = {});
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_SPILL_PIPELINE_HH

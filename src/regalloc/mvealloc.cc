@@ -1,0 +1,134 @@
+#include "regalloc/mvealloc.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+long
+fmod2(long a, long m)
+{
+    const long r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+/** Circular arcs [start, start+len) claimed by one register name. */
+struct NameArcs
+{
+    NodeId value;
+    std::vector<long> starts;
+    long len;
+
+    bool
+    overlaps(const NameArcs &other, long circ) const
+    {
+        for (long a : starts) {
+            for (long b : other.starts) {
+                if (fmod2(b - a, circ) < len ||
+                    fmod2(a - b, circ) < other.len) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+};
+
+/** Smallest divisor of u that is >= need. */
+int
+periodFor(int u, int need)
+{
+    for (int p = need; p <= u; ++p) {
+        if (u % p == 0)
+            return p;
+    }
+    return u;
+}
+
+} // namespace
+
+MveAllocResult
+allocateMve(const LifetimeInfo &lifetimes)
+{
+    MveAllocResult result;
+    result.unroll = mveUnrollFactor(lifetimes);
+    result.period.assign(lifetimes.lifetimes.size(), 0);
+    result.base.assign(lifetimes.lifetimes.size(), -1);
+
+    const long ii = lifetimes.ii;
+    const long circ = long(result.unroll) * ii;
+
+    // Build the register names: value v needs p_v names; name b of v
+    // owns the arcs of instances j == b (mod p_v) over the U copies.
+    std::vector<NameArcs> names;
+    std::vector<std::pair<NodeId, int>> nameOwner;  // (value, b).
+    for (const Lifetime &lt : lifetimes.lifetimes) {
+        if (!lt.live || lt.length() <= 0)
+            continue;
+        const int need = int((lt.length() + ii - 1) / ii);
+        const int p = periodFor(result.unroll, need);
+        result.period[std::size_t(lt.producer)] = p;
+        for (int b = 0; b < p; ++b) {
+            NameArcs arcs;
+            arcs.value = lt.producer;
+            arcs.len = lt.length();
+            for (int j = b; j < result.unroll; j += p)
+                arcs.starts.push_back(
+                    fmod2(lt.start + long(j) * ii, circ));
+            names.push_back(std::move(arcs));
+            nameOwner.emplace_back(lt.producer, b);
+        }
+    }
+
+    // Greedy circular coloring, longest-lived names first (they are
+    // hardest to place), ties by start for determinism.
+    std::vector<std::size_t> order(names.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (names[a].len != names[b].len)
+                             return names[a].len > names[b].len;
+                         return names[a].starts[0] < names[b].starts[0];
+                     });
+
+    std::vector<std::vector<std::size_t>> colors;  // name ids per reg.
+    std::vector<int> colorOf(names.size(), -1);
+    for (std::size_t id : order) {
+        int chosen = -1;
+        for (std::size_t c = 0; c < colors.size() && chosen < 0; ++c) {
+            bool free = true;
+            for (std::size_t other : colors[c]) {
+                if (names[id].overlaps(names[other], circ)) {
+                    free = false;
+                    break;
+                }
+            }
+            if (free)
+                chosen = int(c);
+        }
+        if (chosen < 0) {
+            chosen = int(colors.size());
+            colors.emplace_back();
+        }
+        colors[std::size_t(chosen)].push_back(id);
+        colorOf[id] = chosen;
+    }
+    result.registers = int(colors.size());
+
+    // Record the base color of each value's name 0 (diagnostics only;
+    // the names of one value need not be contiguous after coloring).
+    for (std::size_t id = 0; id < names.size(); ++id) {
+        const auto &[value, b] = nameOwner[id];
+        if (b == 0)
+            result.base[std::size_t(value)] = colorOf[id];
+    }
+    return result;
+}
+
+} // namespace swp

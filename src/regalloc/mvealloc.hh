@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Register allocation under modulo variable expansion (MVE) — the
+ * software alternative to a rotating register file (Section 2.3; Lam,
+ * PLDI 1988).
+ *
+ * Without renaming hardware, values outliving the II get distinct
+ * register *names* by unrolling the kernel U = max_v ceil(LT_v/II)
+ * times. A value v then needs p_v names used cyclically, where p_v is
+ * the smallest divisor of U with p_v >= ceil(LT_v/II) (the period must
+ * divide the unroll factor or the wrap from the last copy back to the
+ * first would mismatch). Each name owns a fixed set of arcs on the
+ * unrolled time circle of circumference U*II; names of different
+ * values may share a physical register when their arc sets are
+ * disjoint, which a greedy circular coloring exploits.
+ *
+ * Comparing the resulting register count with the rotating-file
+ * allocation (rotalloc) quantifies what the rotating hardware buys —
+ * the classic argument for it, reproduced by bench/ablation_allocator.
+ */
+
+#ifndef SWP_REGALLOC_MVEALLOC_HH
+#define SWP_REGALLOC_MVEALLOC_HH
+
+#include <vector>
+
+#include "liferange/lifetimes.hh"
+
+namespace swp
+{
+
+/** MVE allocation result. */
+struct MveAllocResult
+{
+    int unroll = 1;     ///< Kernel copies (U).
+    int registers = 0;  ///< Physical registers after name coloring.
+    /** Name period per producing node (0 for non-values). */
+    std::vector<int> period;
+    /** First physical register per producing node; names b = base..
+     *  base+period-1 are contiguous in allocation order. */
+    std::vector<int> base;
+};
+
+/**
+ * Allocate all live loop-variant lifetimes under MVE.
+ * Loop invariants still need one static register each (not counted
+ * here, as in rotalloc).
+ */
+MveAllocResult allocateMve(const LifetimeInfo &lifetimes);
+
+} // namespace swp
+
+#endif // SWP_REGALLOC_MVEALLOC_HH

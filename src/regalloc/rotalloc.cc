@@ -1,0 +1,252 @@
+#include "regalloc/rotalloc.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** An occupied arc [start, start+len) on the allocation circle. */
+struct Arc
+{
+    long start;
+    long len;
+};
+
+/** floorMod for longs. */
+long
+fmod2(long a, long m)
+{
+    const long r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+/** True if circular arcs [q1,q1+l1) and [q2,q2+l2) intersect mod C. */
+bool
+arcsOverlap(long q1, long l1, long q2, long l2, long circ)
+{
+    if (l1 <= 0 || l2 <= 0)
+        return false;
+    return fmod2(q2 - q1, circ) < l1 || fmod2(q1 - q2, circ) < l2;
+}
+
+/** Gap from q backwards to the end of the nearest occupied arc. */
+long
+leftGap(const std::vector<Arc> &occupied, long q, long circ)
+{
+    long best = circ;
+    for (const Arc &a : occupied)
+        best = std::min(best, fmod2(q - (a.start + a.len), circ));
+    return best;
+}
+
+/** Gap from q+len forward to the start of the nearest occupied arc. */
+long
+rightGap(const std::vector<Arc> &occupied, long q, long len, long circ)
+{
+    long best = circ;
+    for (const Arc &a : occupied)
+        best = std::min(best, fmod2(a.start - (q + len), circ));
+    return best;
+}
+
+} // namespace
+
+const char *
+fitStrategyName(FitStrategy s)
+{
+    switch (s) {
+      case FitStrategy::EndFit: return "end-fit";
+      case FitStrategy::FirstFit: return "first-fit";
+      case FitStrategy::BestFit: return "best-fit";
+    }
+    SWP_PANIC("unknown fit strategy ", int(s));
+}
+
+RotAllocResult
+allocateRotating(const LifetimeInfo &lifetimes, int num_regs,
+                 FitStrategy strategy, AllocOrder order)
+{
+    RotAllocResult result;
+    result.offset.assign(lifetimes.lifetimes.size(), -1);
+    result.registers = num_regs;
+
+    const long ii = lifetimes.ii;
+    const long circ = long(num_regs) * ii;
+
+    std::vector<const Lifetime *> values;
+    for (const Lifetime &lt : lifetimes.lifetimes) {
+        if (lt.live && lt.length() > 0)
+            values.push_back(&lt);
+    }
+
+    switch (order) {
+      case AllocOrder::Adjacency:
+        std::stable_sort(values.begin(), values.end(),
+                         [](const Lifetime *a, const Lifetime *b) {
+                             if (a->start != b->start)
+                                 return a->start < b->start;
+                             return a->length() > b->length();
+                         });
+        break;
+      case AllocOrder::DescendingLength:
+        std::stable_sort(values.begin(), values.end(),
+                         [](const Lifetime *a, const Lifetime *b) {
+                             if (a->length() != b->length())
+                                 return a->length() > b->length();
+                             return a->start < b->start;
+                         });
+        break;
+    }
+
+    std::vector<Arc> occupied;
+    for (const Lifetime *lt : values) {
+        const long len = lt->length();
+        if (len > circ)
+            return result;  // A single value exceeds the whole file.
+
+        long bestQ = -1;
+        long bestKey = -1;
+        for (int o = 0; o < num_regs; ++o) {
+            const long q = fmod2(lt->start - long(o) * ii, circ);
+            bool fits = true;
+            for (const Arc &a : occupied) {
+                if (arcsOverlap(q, len, a.start, a.len, circ)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (!fits)
+                continue;
+
+            long key = 0;
+            switch (strategy) {
+              case FitStrategy::FirstFit:
+                key = 0;  // First feasible offset wins.
+                break;
+              case FitStrategy::EndFit:
+                key = leftGap(occupied, q, circ);
+                break;
+              case FitStrategy::BestFit:
+                key = leftGap(occupied, q, circ) +
+                      rightGap(occupied, q, len, circ);
+                break;
+            }
+            if (bestQ < 0 || key < bestKey) {
+                bestQ = q;
+                bestKey = key;
+                result.offset[std::size_t(lt->producer)] = o;
+            }
+            if (strategy == FitStrategy::FirstFit)
+                break;
+            if (key == 0)
+                break;  // Cannot improve on a zero gap.
+        }
+        if (bestQ < 0)
+            return result;  // No feasible position: allocation fails.
+        occupied.push_back({bestQ, len});
+    }
+
+    result.ok = true;
+    return result;
+}
+
+int
+minRotatingRegs(const LifetimeInfo &lifetimes, FitStrategy strategy,
+                AllocOrder order, int cap)
+{
+    bool anyLive = false;
+    for (const Lifetime &lt : lifetimes.lifetimes) {
+        if (lt.live && lt.length() > 0) {
+            anyLive = true;
+            break;
+        }
+    }
+    if (!anyLive)
+        return 0;
+
+    for (int r = std::max(1, lifetimes.maxLive); r <= cap; ++r) {
+        if (allocateRotating(lifetimes, r, strategy, order).ok)
+            return r;
+    }
+    return cap + 1;
+}
+
+AllocationOutcome
+allocateLoop(const Ddg &g, const Schedule &sched, int budget,
+             FitStrategy strategy)
+{
+    const LifetimeInfo info = analyzeLifetimes(g, sched);
+
+    AllocationOutcome outcome;
+    outcome.maxLive = info.maxLive;
+    outcome.invariants = info.invariantCount;
+
+    // Both orderings are cheap next to scheduling; take whichever packs
+    // tighter (adjacency is Rau's reference ordering, descending length
+    // often wins on fan-out-heavy lifetimes).
+    const int cap = std::max({budget * 4, info.maxLive + 64, 64});
+    AllocOrder order = AllocOrder::Adjacency;
+    outcome.rotating = minRotatingRegs(info, strategy, order, cap);
+    const int byLength = minRotatingRegs(
+        info, strategy, AllocOrder::DescendingLength, cap);
+    if (byLength < outcome.rotating) {
+        outcome.rotating = byLength;
+        order = AllocOrder::DescendingLength;
+    }
+    if (outcome.rotating <= cap) {
+        outcome.rotAlloc =
+            allocateRotating(info, outcome.rotating, strategy, order);
+    }
+    outcome.regsRequired = outcome.rotating + outcome.invariants;
+    outcome.fits = outcome.regsRequired <= budget;
+    (void)g;
+    return outcome;
+}
+
+bool
+allocationConflictFree(const LifetimeInfo &lifetimes,
+                       const RotAllocResult &alloc, std::string *why)
+{
+    const long ii = lifetimes.ii;
+    const long circ = long(alloc.registers) * ii;
+
+    std::vector<const Lifetime *> values;
+    for (const Lifetime &lt : lifetimes.lifetimes) {
+        if (lt.live && lt.length() > 0)
+            values.push_back(&lt);
+    }
+
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const Lifetime *a = values[i];
+        const int oa = alloc.offset[std::size_t(a->producer)];
+        if (oa < 0) {
+            if (why)
+                *why = strprintf("value n%d unallocated", a->producer);
+            return false;
+        }
+        const long qa = fmod2(a->start - long(oa) * ii, circ);
+        for (std::size_t j = i + 1; j < values.size(); ++j) {
+            const Lifetime *b = values[j];
+            const int ob = alloc.offset[std::size_t(b->producer)];
+            if (ob < 0)
+                continue;  // Reported when j reaches it.
+            const long qb = fmod2(b->start - long(ob) * ii, circ);
+            if (arcsOverlap(qa, a->length(), qb, b->length(), circ)) {
+                if (why) {
+                    *why = strprintf("values n%d and n%d overlap",
+                                     a->producer, b->producer);
+                }
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace swp

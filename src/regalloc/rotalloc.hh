@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Register allocation for software-pipelined loops on a rotating
+ * register file, after Rau, Lee, Tirumalai and Schlansker (PLDI 1992).
+ *
+ * With a rotating file of R registers, instance i of value v (allocated
+ * offset o_v) occupies physical register (o_v + i) mod R during
+ * [start_v + i*II, end_v + i*II). Two values conflict exactly when their
+ * arcs [q_v, q_v + LT_v) overlap on a circle of circumference C = R*II,
+ * where q_v = (start_v - o_v*II) mod C. Choosing o_v freely means q_v
+ * ranges over all residues congruent to start_v modulo II, so
+ * allocation is packing |V| arcs of lengths LT_v at II-aligned anchors.
+ *
+ * The paper reports that the "wands-only" strategy using end-fit with
+ * adjacency ordering almost never needs more than MaxLive + 1 registers;
+ * end-fit with start-time (adjacency) ordering is our default, with
+ * first-fit and best-fit provided for comparison.
+ *
+ * Loop invariants are allocated in static registers, one each.
+ */
+
+#ifndef SWP_REGALLOC_ROTALLOC_HH
+#define SWP_REGALLOC_ROTALLOC_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.hh"
+#include "liferange/lifetimes.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/** Placement rule for each lifetime. */
+enum class FitStrategy
+{
+    EndFit,    ///< Abut the end of an allocated arc (minimal left gap).
+    FirstFit,  ///< Smallest feasible register offset.
+    BestFit,   ///< Tightest enclosing free gap.
+};
+
+/** Processing order of the lifetimes. */
+enum class AllocOrder
+{
+    Adjacency,         ///< Ascending start time (Rau's adjacency order).
+    DescendingLength,  ///< Longest lifetimes first.
+};
+
+const char *fitStrategyName(FitStrategy s);
+
+/** Result of allocating the loop variants of one schedule. */
+struct RotAllocResult
+{
+    bool ok = false;
+    int registers = 0;  ///< Rotating registers used (the R it fit into).
+    /** Register offset o_v per producing node; -1 for non-values. */
+    std::vector<int> offset;
+};
+
+/**
+ * Try to pack all live loop-variant lifetimes into a rotating file of
+ * `num_regs` registers.
+ */
+RotAllocResult allocateRotating(const LifetimeInfo &lifetimes,
+                                int num_regs,
+                                FitStrategy strategy = FitStrategy::EndFit,
+                                AllocOrder order = AllocOrder::Adjacency);
+
+/**
+ * Smallest register count the strategy fits into, searching upward from
+ * the MaxLive lower bound. Returns cap+1 if even `cap` registers fail.
+ */
+int minRotatingRegs(const LifetimeInfo &lifetimes,
+                    FitStrategy strategy = FitStrategy::EndFit,
+                    AllocOrder order = AllocOrder::Adjacency,
+                    int cap = 1024);
+
+/** Complete register allocation of a scheduled loop. */
+struct AllocationOutcome
+{
+    bool fits = false;       ///< regsRequired <= budget.
+    int regsRequired = 0;    ///< rotating + invariant registers.
+    int rotating = 0;        ///< Rotating registers for loop variants.
+    int invariants = 0;      ///< Static registers for loop invariants.
+    int maxLive = 0;         ///< The MaxLive lower bound used.
+    RotAllocResult rotAlloc;
+};
+
+/**
+ * Allocate a scheduled loop against a register budget: rotating
+ * registers for the loop variants (actual requirement, not MaxLive)
+ * plus one static register per live invariant.
+ */
+AllocationOutcome allocateLoop(const Ddg &g, const Schedule &sched,
+                               int budget,
+                               FitStrategy strategy = FitStrategy::EndFit);
+
+/**
+ * Verify an allocation: no two lifetimes' arcs overlap (the conflict
+ * lemma above). Exposed for tests and the pipeline simulator.
+ */
+bool allocationConflictFree(const LifetimeInfo &lifetimes,
+                            const RotAllocResult &alloc,
+                            std::string *why = nullptr);
+
+} // namespace swp
+
+#endif // SWP_REGALLOC_ROTALLOC_HH

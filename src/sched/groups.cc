@@ -1,0 +1,134 @@
+#include "sched/groups.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+int
+fusedDelayOf(const Ddg &g, const Machine &m, const Edge &edge)
+{
+    return edge.fusedDelay > 0 ? edge.fusedDelay
+                               : m.latency(g.node(edge.src).op);
+}
+
+GroupSet::GroupSet(const Ddg &g, const Machine &m)
+{
+    const int n = g.numNodes();
+    groupOf_.assign(std::size_t(n), -1);
+    offsetOf_.assign(std::size_t(n), 0);
+
+    // Union-find over fused edges.
+    std::vector<int> parent(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        parent[std::size_t(i)] = i;
+    auto find = [&](int x) {
+        while (parent[std::size_t(x)] != x) {
+            parent[std::size_t(x)] =
+                parent[std::size_t(parent[std::size_t(x)])];
+            x = parent[std::size_t(x)];
+        }
+        return x;
+    };
+
+    std::vector<EdgeId> fused;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (edge.alive && edge.nonSpillable) {
+            fused.push_back(e);
+            const int a = find(edge.src);
+            const int b = find(edge.dst);
+            if (a != b)
+                parent[std::size_t(a)] = b;
+        }
+    }
+
+    // Gather members per root.
+    std::vector<int> rootGroup(std::size_t(n), -1);
+    for (NodeId v = 0; v < n; ++v) {
+        const int r = find(v);
+        if (rootGroup[std::size_t(r)] < 0) {
+            rootGroup[std::size_t(r)] = int(groups_.size());
+            groups_.emplace_back();
+        }
+        const int gi = rootGroup[std::size_t(r)];
+        groupOf_[std::size_t(v)] = gi;
+        groups_[std::size_t(gi)].members.push_back(v);
+    }
+
+    // Solve offsets inside each group by propagating fused-edge
+    // constraints offset(dst) = offset(src) + latency(src).
+    std::vector<bool> known(std::size_t(n), false);
+    for (auto &grp : groups_) {
+        if (grp.members.size() == 1) {
+            grp.offsets.assign(1, 0);
+            known[std::size_t(grp.members[0])] = true;
+            continue;
+        }
+        // BFS from the first member.
+        offsetOf_[std::size_t(grp.members[0])] = 0;
+        known[std::size_t(grp.members[0])] = true;
+        std::vector<NodeId> frontier = {grp.members[0]};
+        while (!frontier.empty()) {
+            std::vector<NodeId> next;
+            for (EdgeId e : fused) {
+                const Edge &edge = g.edge(e);
+                const int lat = fusedDelayOf(g, m, edge);
+                for (NodeId v : frontier) {
+                    if (edge.src == v) {
+                        const int off = offsetOf_[std::size_t(v)] + lat;
+                        if (!known[std::size_t(edge.dst)]) {
+                            known[std::size_t(edge.dst)] = true;
+                            offsetOf_[std::size_t(edge.dst)] = off;
+                            next.push_back(edge.dst);
+                        } else {
+                            SWP_ASSERT(
+                                offsetOf_[std::size_t(edge.dst)] == off,
+                                "inconsistent fused offsets at node ",
+                                g.node(edge.dst).name);
+                        }
+                    } else if (edge.dst == v) {
+                        const int off = offsetOf_[std::size_t(v)] - lat;
+                        if (!known[std::size_t(edge.src)]) {
+                            known[std::size_t(edge.src)] = true;
+                            offsetOf_[std::size_t(edge.src)] = off;
+                            next.push_back(edge.src);
+                        } else {
+                            SWP_ASSERT(
+                                offsetOf_[std::size_t(edge.src)] == off,
+                                "inconsistent fused offsets at node ",
+                                g.node(edge.src).name);
+                        }
+                    }
+                }
+            }
+            frontier = std::move(next);
+        }
+
+        // Normalize: smallest offset becomes 0; sort members by offset.
+        int lo = INT32_MAX;
+        for (NodeId v : grp.members) {
+            SWP_ASSERT(known[std::size_t(v)],
+                       "fused group member unreached: ", g.node(v).name);
+            lo = std::min(lo, offsetOf_[std::size_t(v)]);
+        }
+        for (NodeId v : grp.members)
+            offsetOf_[std::size_t(v)] -= lo;
+        std::sort(grp.members.begin(), grp.members.end(),
+                  [&](NodeId a, NodeId b) {
+                      if (offsetOf_[std::size_t(a)] !=
+                          offsetOf_[std::size_t(b)]) {
+                          return offsetOf_[std::size_t(a)] <
+                                 offsetOf_[std::size_t(b)];
+                      }
+                      return a < b;
+                  });
+        grp.offsets.clear();
+        for (NodeId v : grp.members)
+            grp.offsets.push_back(offsetOf_[std::size_t(v)]);
+    }
+}
+
+} // namespace swp

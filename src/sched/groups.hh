@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Complex-operation groups (Section 4.3).
+ *
+ * Operations connected by non-spillable edges (spill loads/stores and
+ * their consumers/producers) must be scheduled simultaneously as a single
+ * "complex operation": the consumer is placed exactly latency(producer)
+ * cycles after the producer. This prevents a register-insensitive
+ * scheduler from re-growing the lifetime that was just spilled, which is
+ * what guarantees convergence of the iterative spilling process.
+ */
+
+#ifndef SWP_SCHED_GROUPS_HH
+#define SWP_SCHED_GROUPS_HH
+
+#include <vector>
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+
+namespace swp
+{
+
+/**
+ * Exact issue distance a fused edge enforces: its explicit fusedDelay,
+ * or the producer's latency when unset.
+ */
+int fusedDelayOf(const Ddg &g, const Machine &m, const Edge &edge);
+
+/** One schedulable unit: a set of nodes with fixed relative offsets. */
+struct ComplexGroup
+{
+    /** Members in increasing offset order (ties broken by node id). */
+    std::vector<NodeId> members;
+    /** Cycle offset of each member relative to the group anchor. */
+    std::vector<int> offsets;
+
+    bool singleton() const { return members.size() == 1; }
+};
+
+/**
+ * Partition of the graph into complex groups.
+ *
+ * Nodes not touched by non-spillable edges form singleton groups.
+ * Offsets are derived from fused-edge latencies; a consistency failure
+ * (two fused paths implying different offsets, or a fused cycle) is a
+ * spiller bug and panics.
+ */
+class GroupSet
+{
+  public:
+    GroupSet(const Ddg &g, const Machine &m);
+
+    int numGroups() const { return int(groups_.size()); }
+    const ComplexGroup &group(int gi) const
+    {
+        return groups_[std::size_t(gi)];
+    }
+
+    /** Group index containing a node. */
+    int groupOf(NodeId n) const { return groupOf_[std::size_t(n)]; }
+
+    /** Offset of a node inside its group. */
+    int offsetOf(NodeId n) const { return offsetOf_[std::size_t(n)]; }
+
+  private:
+    std::vector<ComplexGroup> groups_;
+    std::vector<int> groupOf_;
+    std::vector<int> offsetOf_;
+};
+
+} // namespace swp
+
+#endif // SWP_SCHED_GROUPS_HH

@@ -1,0 +1,733 @@
+#include "sched/hrms.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "sched/groups.hh"
+#include "sched/mii.hh"
+#include "sched/mrt.hh"
+#include "sched/sched_util.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+constexpr long negInf = schedNegInf;
+constexpr long posInf = schedPosInf;
+
+/** Condensed graph over complex groups. */
+struct GroupGraph
+{
+    int n = 0;
+    std::vector<std::vector<int>> succ;
+    std::vector<std::vector<int>> pred;
+    /** Zero-distance-only adjacency (the acyclic intra-iteration part). */
+    std::vector<std::vector<int>> pred0;
+    std::vector<std::vector<int>> succ0;
+    std::vector<std::vector<bool>> reach;
+    /** Reachability through zero-distance edges only. */
+    std::vector<std::vector<bool>> reach0;
+
+    GroupGraph(const Ddg &g, const GroupSet &groups)
+        : n(groups.numGroups()),
+          succ(std::size_t(n)),
+          pred(std::size_t(n)),
+          pred0(std::size_t(n)),
+          succ0(std::size_t(n))
+    {
+        auto addUnique = [](std::vector<int> &v, int x) {
+            if (std::find(v.begin(), v.end(), x) == v.end())
+                v.push_back(x);
+        };
+        for (EdgeId e = 0; e < g.numEdges(); ++e) {
+            const Edge &edge = g.edge(e);
+            if (!edge.alive)
+                continue;
+            const int a = groups.groupOf(edge.src);
+            const int b = groups.groupOf(edge.dst);
+            if (a == b)
+                continue;
+            addUnique(succ[std::size_t(a)], b);
+            addUnique(pred[std::size_t(b)], a);
+            if (edge.distance == 0) {
+                addUnique(pred0[std::size_t(b)], a);
+                addUnique(succ0[std::size_t(a)], b);
+            }
+        }
+        reach = bfsReach(succ);
+        reach0 = bfsReach(succ0);
+    }
+
+  private:
+    std::vector<std::vector<bool>>
+    bfsReach(const std::vector<std::vector<int>> &adj) const
+    {
+        std::vector<std::vector<bool>> out(
+            static_cast<std::size_t>(n),
+            std::vector<bool>(static_cast<std::size_t>(n)));
+        for (int s = 0; s < n; ++s) {
+            std::vector<int> stack = {s};
+            while (!stack.empty()) {
+                const int u = stack.back();
+                stack.pop_back();
+                for (int v : adj[std::size_t(u)]) {
+                    if (!out[std::size_t(s)][std::size_t(v)]) {
+                        out[std::size_t(s)][std::size_t(v)] = true;
+                        stack.push_back(v);
+                    }
+                }
+            }
+        }
+        return out;
+    }
+};
+
+/** Strongly connected components of the group graph (iterative Tarjan). */
+std::vector<std::vector<int>>
+groupSccs(const GroupGraph &gg)
+{
+    std::vector<int> index(std::size_t(gg.n), -1);
+    std::vector<int> lowlink(std::size_t(gg.n), 0);
+    std::vector<bool> onStack(std::size_t(gg.n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> comps;
+    int next = 0;
+
+    struct Frame { int v; std::size_t i; };
+    for (int root = 0; root < gg.n; ++root) {
+        if (index[std::size_t(root)] >= 0)
+            continue;
+        std::vector<Frame> frames = {{root, 0}};
+        index[std::size_t(root)] = lowlink[std::size_t(root)] = next++;
+        stack.push_back(root);
+        onStack[std::size_t(root)] = true;
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &succs = gg.succ[std::size_t(f.v)];
+            if (f.i < succs.size()) {
+                const int w = succs[f.i++];
+                if (index[std::size_t(w)] < 0) {
+                    index[std::size_t(w)] = lowlink[std::size_t(w)] =
+                        next++;
+                    stack.push_back(w);
+                    onStack[std::size_t(w)] = true;
+                    frames.push_back({w, 0});
+                } else if (onStack[std::size_t(w)]) {
+                    lowlink[std::size_t(f.v)] = std::min(
+                        lowlink[std::size_t(f.v)], index[std::size_t(w)]);
+                }
+            } else {
+                const int v = f.v;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    lowlink[std::size_t(frames.back().v)] =
+                        std::min(lowlink[std::size_t(frames.back().v)],
+                                 lowlink[std::size_t(v)]);
+                }
+                if (lowlink[std::size_t(v)] == index[std::size_t(v)]) {
+                    std::vector<int> comp;
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack[std::size_t(w)] = false;
+                        comp.push_back(w);
+                    } while (w != v);
+                    comps.push_back(std::move(comp));
+                }
+            }
+        }
+    }
+    return comps;
+}
+
+/** Scheduling context shared by the ordering and placement phases. */
+struct HrmsContext
+{
+    const Ddg &g;
+    const Machine &m;
+    const int ii;
+    GroupSet groups;
+    GroupGraph gg;
+    NodePriorities prio;
+    std::vector<long> gAsap;    ///< Anchor-relative group ASAP.
+    std::vector<long> gHeight;  ///< Anchor-relative group height.
+
+    HrmsContext(const Ddg &graph, const Machine &mach, int interval)
+        : g(graph),
+          m(mach),
+          ii(interval),
+          groups(graph, mach),
+          gg(graph, groups),
+          prio(graph, mach, interval),
+          gAsap(std::size_t(groups.numGroups()), negInf),
+          gHeight(std::size_t(groups.numGroups()), negInf)
+    {
+        for (NodeId v = 0; v < g.numNodes(); ++v) {
+            const int gi = groups.groupOf(v);
+            const long off = groups.offsetOf(v);
+            gAsap[std::size_t(gi)] = std::max(
+                gAsap[std::size_t(gi)], prio.asap[std::size_t(v)] - off);
+            gHeight[std::size_t(gi)] = std::max(
+                gHeight[std::size_t(gi)],
+                prio.height[std::size_t(v)] + off);
+        }
+    }
+};
+
+/**
+ * The pre-ordering phase: produce group indices in scheduling order.
+ *
+ * The scheduling phase relies on the HRMS invariant: when a group is
+ * placed, its already-placed neighbours are only predecessors or only
+ * successors (recurrence members excepted). Two placement "fronts"
+ * meeting at an unordered node would leave it a window that no II can
+ * satisfy, so the ordering must never create such junctions. We achieve
+ * that by always absorbing whole *transitive cones* in one direction:
+ *
+ *  - recurrences first, most critical (highest RecMII) first, each
+ *    preceded by the nodes on directed paths from the ordered set to it
+ *    (topological order: they see only predecessors) and followed by
+ *    the paths back (reverse topological: only successors); since
+ *    distinct SCCs cannot have paths both ways, these sets are disjoint;
+ *  - then, repeatedly: the full descendant cone of the ordered set in
+ *    topological order, or the full ancestor cone in reverse topological
+ *    order, or a fresh seed (the most critical remaining group).
+ *
+ * A node of a descendant cone cannot have an ordered successor (that
+ * would make it simultaneously an ancestor, i.e. a node between two
+ * ordered nodes, which the hole-absorption step has already taken), and
+ * symmetrically for ancestor cones, so the invariant holds everywhere
+ * outside recurrences.
+ */
+class Ordering
+{
+  public:
+    explicit Ordering(HrmsContext &ctx) : ctx_(ctx) {}
+
+    std::vector<int>
+    run()
+    {
+        const int n = ctx_.gg.n;
+        ordered_.assign(std::size_t(n), false);
+        order_.clear();
+        order_.reserve(std::size_t(n));
+
+        // Recurrences first, most critical first (criticality = RecMII
+        // of the component).
+        auto comps = groupSccs(ctx_.gg);
+        std::vector<std::pair<long, std::vector<int>>> recurrences;
+        for (auto &comp : comps) {
+            if (!isRecurrence(comp))
+                continue;
+            std::vector<NodeId> nodes;
+            for (int gi : comp) {
+                const auto &grp = ctx_.groups.group(gi);
+                nodes.insert(nodes.end(), grp.members.begin(),
+                             grp.members.end());
+            }
+            const long crit = recMiiOfComponent(ctx_.g, ctx_.m, nodes);
+            recurrences.emplace_back(crit, std::move(comp));
+        }
+        std::stable_sort(recurrences.begin(), recurrences.end(),
+                         [](const auto &a, const auto &b) {
+                             if (a.first != b.first)
+                                 return a.first > b.first;
+                             return a.second.size() > b.second.size();
+                         });
+
+        // Constrain the criticality order to the topological order of
+        // zero-distance reachability between components: if comp A has
+        // a zero-distance path into comp B, A must be placed first.
+        // Otherwise a member of A with a placed zero-distance successor
+        // in B faces a fixed gap that no II can widen (carried edges
+        // gain slack with II; zero-distance ones never do).
+        orderCompsByZeroDistance(recurrences);
+
+        for (const auto &[crit, comp] : recurrences) {
+            (void)crit;
+            if (!order_.empty()) {
+                // Paths ordered-set -> recurrence: only-preds nodes.
+                std::vector<int> forward, backward;
+                for (int v = 0; v < n; ++v) {
+                    if (ordered_[std::size_t(v)] || inSet(v, comp))
+                        continue;
+                    if (reachesFromOrdered(v) && reachesSet(v, comp))
+                        forward.push_back(v);
+                    else if (reaches(comp, v) && reachesToOrdered(v))
+                        backward.push_back(v);
+                }
+                absorbTopological(forward);
+                absorbReverseTopological(backward);
+            }
+            // The recurrence itself. Members are ordered topologically
+            // over the *zero-distance* subgraph (acyclic inside any
+            // legal SCC): a member's already-placed in-SCC successors
+            // are then reachable only through carried edges, whose
+            // slack grows with the II — so the [early, late] window of
+            // a both-sided member always opens up at a feasible II.
+            // Plain criticality order could trap a member between two
+            // placed members at a fixed zero-distance gap that no II
+            // can widen.
+            absorbZeroDistanceTopological(comp);
+        }
+
+        // Everything else: cones around the ordered set.
+        for (;;) {
+            std::vector<int> holes, descendants, ancestors;
+            int remaining = 0;
+            for (int v = 0; v < n; ++v) {
+                if (ordered_[std::size_t(v)])
+                    continue;
+                ++remaining;
+                const bool below = reachesFromOrdered(v);
+                const bool above = reachesToOrdered(v);
+                if (below && above)
+                    holes.push_back(v);
+                else if (below)
+                    descendants.push_back(v);
+                else if (above)
+                    ancestors.push_back(v);
+            }
+            if (remaining == 0)
+                return order_;
+            if (!holes.empty()) {
+                // Only possible through not-yet-ordered recurrence
+                // remnants; order them feasibly (producers first).
+                absorbTopological(holes);
+            } else if (!descendants.empty()) {
+                absorbTopological(descendants);
+            } else if (!ancestors.empty()) {
+                absorbReverseTopological(ancestors);
+            } else {
+                // Disconnected from everything ordered: seed with the
+                // most critical group (longest chain through it).
+                int best = -1;
+                for (int v = 0; v < n; ++v) {
+                    if (ordered_[std::size_t(v)])
+                        continue;
+                    if (best < 0 ||
+                        ctx_.gAsap[std::size_t(v)] +
+                                ctx_.gHeight[std::size_t(v)] >
+                            ctx_.gAsap[std::size_t(best)] +
+                                ctx_.gHeight[std::size_t(best)]) {
+                        best = v;
+                    }
+                }
+                append(best);
+            }
+        }
+    }
+
+  private:
+    bool
+    isRecurrence(const std::vector<int> &comp) const
+    {
+        if (comp.size() > 1)
+            return true;
+        const int v = comp[0];
+        const auto &succs = ctx_.gg.succ[std::size_t(v)];
+        return std::find(succs.begin(), succs.end(), v) != succs.end() ||
+               ctx_.gg.reach[std::size_t(v)][std::size_t(v)];
+    }
+
+    bool
+    reachesFromOrdered(int v) const
+    {
+        for (int o : order_) {
+            if (ctx_.gg.reach[std::size_t(o)][std::size_t(v)])
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    reachesToOrdered(int v) const
+    {
+        for (int o : order_) {
+            if (ctx_.gg.reach[std::size_t(v)][std::size_t(o)])
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    reaches(const std::vector<int> &from, int v) const
+    {
+        for (int s : from) {
+            if (ctx_.gg.reach[std::size_t(s)][std::size_t(v)])
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    reachesSet(int v, const std::vector<int> &to) const
+    {
+        for (int t : to) {
+            if (ctx_.gg.reach[std::size_t(v)][std::size_t(t)])
+                return true;
+        }
+        return false;
+    }
+
+    void
+    append(int v)
+    {
+        ordered_[std::size_t(v)] = true;
+        order_.push_back(v);
+    }
+
+    bool
+    inSet(int v, const std::vector<int> &set) const
+    {
+        return std::find(set.begin(), set.end(), v) != set.end();
+    }
+
+    /**
+     * Stable-topologically reorder recurrence components along
+     * zero-distance reachability, keeping criticality order among
+     * unrelated components. Always makes progress: a zero-distance
+     * cycle between distinct components would be a zero-distance cycle
+     * in the graph, which verifyDdg forbids.
+     */
+    void
+    orderCompsByZeroDistance(
+        std::vector<std::pair<long, std::vector<int>>> &comps) const
+    {
+        auto reaches0 = [&](const std::vector<int> &from,
+                            const std::vector<int> &to) {
+            for (int a : from) {
+                for (int b : to) {
+                    if (ctx_.gg.reach0[std::size_t(a)][std::size_t(b)])
+                        return true;
+                }
+            }
+            return false;
+        };
+
+        std::vector<std::pair<long, std::vector<int>>> ordered;
+        std::vector<bool> taken(comps.size(), false);
+        for (std::size_t step = 0; step < comps.size(); ++step) {
+            int pick = -1;
+            for (std::size_t i = 0; i < comps.size() && pick < 0; ++i) {
+                if (taken[i])
+                    continue;
+                bool ready = true;
+                for (std::size_t j = 0; j < comps.size(); ++j) {
+                    if (j == i || taken[j])
+                        continue;
+                    if (reaches0(comps[j].second, comps[i].second)) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready)
+                    pick = int(i);
+            }
+            SWP_ASSERT(pick >= 0,
+                       "zero-distance cycle between recurrences");
+            taken[std::size_t(pick)] = true;
+            ordered.push_back(std::move(comps[std::size_t(pick)]));
+        }
+        comps = std::move(ordered);
+    }
+
+    /** Critical groups first: ascending ASAP, descending height. */
+    void
+    sortByCriticality(std::vector<int> &set) const
+    {
+        std::stable_sort(set.begin(), set.end(), [&](int a, int b) {
+            if (ctx_.gAsap[std::size_t(a)] != ctx_.gAsap[std::size_t(b)])
+                return ctx_.gAsap[std::size_t(a)] <
+                       ctx_.gAsap[std::size_t(b)];
+            return ctx_.gHeight[std::size_t(a)] >
+                   ctx_.gHeight[std::size_t(b)];
+        });
+    }
+
+    /**
+     * Append a recurrence component in topological order of its
+     * internal zero-distance edges; ties by criticality.
+     */
+    void
+    absorbZeroDistanceTopological(std::vector<int> set)
+    {
+        sortByCriticality(set);
+        std::vector<bool> inSetFlag(std::size_t(ctx_.gg.n), false);
+        for (int v : set)
+            inSetFlag[std::size_t(v)] = true;
+        std::vector<bool> done(std::size_t(ctx_.gg.n), false);
+        for (std::size_t placed = 0; placed < set.size(); ++placed) {
+            int pick = -1;
+            for (int v : set) {
+                if (done[std::size_t(v)])
+                    continue;
+                bool ready = true;
+                for (int p : ctx_.gg.pred0[std::size_t(v)]) {
+                    if (inSetFlag[std::size_t(p)] &&
+                        !done[std::size_t(p)] && p != v) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready) {
+                    pick = v;
+                    break;
+                }
+            }
+            SWP_ASSERT(pick >= 0,
+                       "zero-distance cycle inside a recurrence");
+            done[std::size_t(pick)] = true;
+            append(pick);
+        }
+    }
+
+    /**
+     * Append the whole set in topological order of its internal edges
+     * (producers first); ties by criticality. Cycles inside the set
+     * (unprocessed recurrence remnants) are broken by criticality.
+     */
+    void
+    absorbTopological(std::vector<int> set)
+    {
+        sortByCriticality(set);
+        std::vector<bool> inSetFlag(std::size_t(ctx_.gg.n), false);
+        for (int v : set)
+            inSetFlag[std::size_t(v)] = true;
+        std::vector<bool> done(std::size_t(ctx_.gg.n), false);
+        for (std::size_t placed = 0; placed < set.size(); ++placed) {
+            int pick = -1;
+            for (int v : set) {
+                if (done[std::size_t(v)])
+                    continue;
+                bool ready = true;
+                for (int p : ctx_.gg.pred[std::size_t(v)]) {
+                    if (inSetFlag[std::size_t(p)] &&
+                        !done[std::size_t(p)] && p != v) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready) {
+                    pick = v;
+                    break;
+                }
+            }
+            if (pick < 0) {
+                // Cycle: take the most critical remaining node.
+                for (int v : set) {
+                    if (!done[std::size_t(v)]) {
+                        pick = v;
+                        break;
+                    }
+                }
+            }
+            done[std::size_t(pick)] = true;
+            append(pick);
+        }
+    }
+
+    /**
+     * Append the whole set in reverse topological order (consumers
+     * first), so each member sees only successors when placed.
+     */
+    void
+    absorbReverseTopological(std::vector<int> set)
+    {
+        // Latest groups first: descending ASAP, ascending height.
+        std::stable_sort(set.begin(), set.end(), [&](int a, int b) {
+            if (ctx_.gAsap[std::size_t(a)] != ctx_.gAsap[std::size_t(b)])
+                return ctx_.gAsap[std::size_t(a)] >
+                       ctx_.gAsap[std::size_t(b)];
+            return ctx_.gHeight[std::size_t(a)] <
+                   ctx_.gHeight[std::size_t(b)];
+        });
+        std::vector<bool> inSetFlag(std::size_t(ctx_.gg.n), false);
+        for (int v : set)
+            inSetFlag[std::size_t(v)] = true;
+        std::vector<bool> done(std::size_t(ctx_.gg.n), false);
+        for (std::size_t placed = 0; placed < set.size(); ++placed) {
+            int pick = -1;
+            for (int v : set) {
+                if (done[std::size_t(v)])
+                    continue;
+                bool ready = true;
+                for (int s : ctx_.gg.succ[std::size_t(v)]) {
+                    if (inSetFlag[std::size_t(s)] &&
+                        !done[std::size_t(s)] && s != v) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready) {
+                    pick = v;
+                    break;
+                }
+            }
+            if (pick < 0) {
+                for (int v : set) {
+                    if (!done[std::size_t(v)]) {
+                        pick = v;
+                        break;
+                    }
+                }
+            }
+            done[std::size_t(pick)] = true;
+            append(pick);
+        }
+    }
+
+    HrmsContext &ctx_;
+    std::vector<bool> ordered_;
+    std::vector<int> order_;
+};
+
+/** The placement phase. */
+std::optional<Schedule>
+place(HrmsContext &ctx, const std::vector<int> &order)
+{
+    Schedule sched(ctx.ii, ctx.g.numNodes());
+    Mrt mrt(ctx.m, ctx.ii);
+
+    for (int gi : order) {
+        const ComplexGroup &grp = ctx.groups.group(gi);
+
+        long early = negInf;
+        long late = posInf;
+        bool hasPred = false;
+        bool hasSucc = false;
+        for (std::size_t i = 0; i < grp.members.size(); ++i) {
+            const NodeId v = grp.members[i];
+            const long off = grp.offsets[i];
+            for (EdgeId e : ctx.g.inEdges(v)) {
+                const Edge &edge = ctx.g.edge(e);
+                if (ctx.groups.groupOf(edge.src) == gi ||
+                    !sched.scheduled(edge.src)) {
+                    continue;
+                }
+                hasPred = true;
+                const long bound = sched.time(edge.src) +
+                                   ctx.m.latency(ctx.g.node(edge.src).op) -
+                                   long(ctx.ii) * edge.distance - off;
+                early = std::max(early, bound);
+            }
+            for (EdgeId e : ctx.g.outEdges(v)) {
+                const Edge &edge = ctx.g.edge(e);
+                if (ctx.groups.groupOf(edge.dst) == gi ||
+                    !sched.scheduled(edge.dst)) {
+                    continue;
+                }
+                hasSucc = true;
+                const long bound = sched.time(edge.dst) -
+                                   ctx.m.latency(ctx.g.node(v).op) +
+                                   long(ctx.ii) * edge.distance - off;
+                late = std::min(late, bound);
+            }
+        }
+
+        bool placed = false;
+        if (hasPred && !hasSucc) {
+            for (long t = early; t < early + ctx.ii; ++t) {
+                if (mrt.placeGroup(ctx.g, grp, int(t), sched)) {
+                    placed = true;
+                    break;
+                }
+            }
+        } else if (hasSucc && !hasPred) {
+            for (long t = late; t > late - ctx.ii; --t) {
+                if (mrt.placeGroup(ctx.g, grp, int(t), sched)) {
+                    placed = true;
+                    break;
+                }
+            }
+        } else if (hasPred && hasSucc) {
+            const long hi = std::min(late, early + ctx.ii - 1);
+            for (long t = early; t <= hi; ++t) {
+                if (mrt.placeGroup(ctx.g, grp, int(t), sched)) {
+                    placed = true;
+                    break;
+                }
+            }
+        } else {
+            const long start = ctx.gAsap[std::size_t(gi)];
+            for (long t = start; t < start + ctx.ii; ++t) {
+                if (mrt.placeGroup(ctx.g, grp, int(t), sched)) {
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if (!placed) {
+            if (std::getenv("SWP_HRMS_DEBUG")) {
+                int placedCount = 0;
+                for (NodeId v = 0; v < ctx.g.numNodes(); ++v)
+                    placedCount += sched.scheduled(v);
+                std::fprintf(stderr,
+                             "HRMS fail ii=%d group=%d (%s) early=%ld "
+                             "late=%ld hasPred=%d hasSucc=%d placed=%d/%d"
+                             " members=%zu\n",
+                             ctx.ii, gi,
+                             ctx.g.node(grp.members[0]).name.c_str(),
+                             early, late, int(hasPred), int(hasSucc),
+                             placedCount, ctx.g.numNodes(),
+                             grp.members.size());
+                for (std::size_t i = 0; i < grp.members.size(); ++i) {
+                    std::fprintf(stderr, "  member %s off=%d op=%s\n",
+                                 ctx.g.node(grp.members[i]).name.c_str(),
+                                 grp.offsets[i],
+                                 opcodeName(ctx.g.node(
+                                     grp.members[i]).op));
+                }
+            }
+            return std::nullopt;
+        }
+    }
+
+    sched.normalize();
+    return sched;
+}
+
+} // namespace
+
+std::optional<Schedule>
+HrmsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
+{
+    if (g.numNodes() == 0)
+        return std::nullopt;
+    if (!iiFeasibleForRecurrences(g, m, ii))
+        return std::nullopt;
+
+    HrmsContext ctx(g, m, ii);
+    if (!groupsInternallyFeasible(g, m, ctx.groups, ii))
+        return std::nullopt;
+
+    Ordering ordering(ctx);
+    const std::vector<int> order = ordering.run();
+    SWP_ASSERT(int(order.size()) == ctx.groups.numGroups(),
+               "HRMS ordering lost groups");
+
+    auto sched = place(ctx, order);
+    if (!sched)
+        return std::nullopt;
+
+    std::string why;
+    SWP_ASSERT(validateSchedule(g, m, *sched, &why),
+               "HRMS produced an invalid schedule: ", why);
+    return sched;
+}
+
+std::vector<int>
+HrmsScheduler::orderingForTest(const Ddg &g, const Machine &m, int ii)
+{
+    HrmsContext ctx(g, m, ii);
+    Ordering ordering(ctx);
+    return ordering.run();
+}
+
+} // namespace swp

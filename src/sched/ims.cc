@@ -1,0 +1,165 @@
+#include "sched/ims.hh"
+
+#include <algorithm>
+
+#include "sched/groups.hh"
+#include "sched/mii.hh"
+#include "sched/mrt.hh"
+#include "sched/sched_util.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+std::optional<Schedule>
+ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
+{
+    if (g.numNodes() == 0)
+        return std::nullopt;
+    if (!iiFeasibleForRecurrences(g, m, ii))
+        return std::nullopt;
+
+    const GroupSet groups(g, m);
+    if (!groupsInternallyFeasible(g, m, groups, ii))
+        return std::nullopt;
+
+    const NodePriorities prio(g, m, ii);
+    const int ng = groups.numGroups();
+
+    // Group priority: the tallest member, anchor-adjusted.
+    std::vector<long> gHeight(std::size_t(ng), schedNegInf);
+    std::vector<long> gAsap(std::size_t(ng), schedNegInf);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        const int gi = groups.groupOf(v);
+        gHeight[std::size_t(gi)] = std::max(
+            gHeight[std::size_t(gi)],
+            prio.height[std::size_t(v)] + groups.offsetOf(v));
+        gAsap[std::size_t(gi)] = std::max(
+            gAsap[std::size_t(gi)],
+            prio.asap[std::size_t(v)] - groups.offsetOf(v));
+    }
+
+    Schedule sched(ii, g.numNodes());
+    Mrt mrt(m, ii);
+
+    std::vector<bool> placed(std::size_t(ng), false);
+    std::vector<long> lastTime(std::size_t(ng), schedNegInf);
+    int unplacedCount = ng;
+    long budget = long(budgetRatio_) * std::max(ng, 8);
+
+    auto pickNext = [&]() {
+        int best = -1;
+        for (int gi = 0; gi < ng; ++gi) {
+            if (placed[std::size_t(gi)])
+                continue;
+            if (best < 0 ||
+                gHeight[std::size_t(gi)] > gHeight[std::size_t(best)] ||
+                (gHeight[std::size_t(gi)] == gHeight[std::size_t(best)] &&
+                 gi < best)) {
+                best = gi;
+            }
+        }
+        return best;
+    };
+
+    auto unplaceGroup = [&](int gi) {
+        mrt.removeGroup(g, groups.group(gi), sched);
+        for (NodeId v : groups.group(gi).members)
+            sched.clear(v);
+        placed[std::size_t(gi)] = false;
+        ++unplacedCount;
+    };
+
+    while (unplacedCount > 0) {
+        if (budget-- <= 0)
+            return std::nullopt;
+
+        const int gi = pickNext();
+        const ComplexGroup &grp = groups.group(gi);
+
+        // Earliest anchor time w.r.t. scheduled predecessors.
+        long early = gAsap[std::size_t(gi)];
+        for (std::size_t i = 0; i < grp.members.size(); ++i) {
+            const NodeId v = grp.members[i];
+            const long off = grp.offsets[i];
+            for (EdgeId e : g.inEdges(v)) {
+                const Edge &edge = g.edge(e);
+                if (groups.groupOf(edge.src) == gi ||
+                    !sched.scheduled(edge.src)) {
+                    continue;
+                }
+                early = std::max(
+                    early, sched.time(edge.src) +
+                               m.latency(g.node(edge.src).op) -
+                               long(ii) * edge.distance - off);
+            }
+        }
+
+        // Try the II-wide conflict-free window first.
+        long chosen = schedNegInf;
+        for (long t = early; t < early + ii; ++t) {
+            if (mrt.canPlaceGroup(g, grp, int(t))) {
+                chosen = t;
+                break;
+            }
+        }
+
+        if (chosen == schedNegInf) {
+            // Forced placement: never earlier than last time + 1, which
+            // guarantees forward progress.
+            chosen = std::max(early, lastTime[std::size_t(gi)] + 1);
+
+            // Evict every group holding a resource this group needs.
+            std::vector<int> evict;
+            for (std::size_t i = 0; i < grp.members.size(); ++i) {
+                const NodeId v = grp.members[i];
+                const long t = chosen + grp.offsets[i];
+                for (NodeId blocker :
+                     mrt.conflicts(g.node(v).op, int(t))) {
+                    const int bg = groups.groupOf(blocker);
+                    if (bg != gi &&
+                        std::find(evict.begin(), evict.end(), bg) ==
+                            evict.end()) {
+                        evict.push_back(bg);
+                    }
+                }
+            }
+            for (int bg : evict)
+                unplaceGroup(bg);
+        }
+
+        const bool ok = mrt.placeGroup(g, grp, int(chosen), sched);
+        if (!ok) {
+            // Even after eviction the slot may be infeasible (occupancy
+            // longer than II interfering with itself); give up.
+            return std::nullopt;
+        }
+        placed[std::size_t(gi)] = true;
+        --unplacedCount;
+        lastTime[std::size_t(gi)] = chosen;
+
+        // Evict scheduled successors whose dependence is now violated.
+        for (std::size_t i = 0; i < grp.members.size(); ++i) {
+            const NodeId v = grp.members[i];
+            const long tv = chosen + grp.offsets[i];
+            for (EdgeId e : g.outEdges(v)) {
+                const Edge &edge = g.edge(e);
+                const int dg = groups.groupOf(edge.dst);
+                if (dg == gi || !sched.scheduled(edge.dst))
+                    continue;
+                const long bound = tv + m.latency(g.node(v).op) -
+                                   long(ii) * edge.distance;
+                if (sched.time(edge.dst) < bound)
+                    unplaceGroup(dg);
+            }
+        }
+    }
+
+    sched.normalize();
+    std::string why;
+    SWP_ASSERT(validateSchedule(g, m, sched, &why),
+               "IMS produced an invalid schedule: ", why);
+    return sched;
+}
+
+} // namespace swp

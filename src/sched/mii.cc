@@ -1,0 +1,149 @@
+#include "sched/mii.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+int
+resMii(const Ddg &g, const Machine &m)
+{
+    // Total unit occupancy per class.
+    long occupancy[numFuClasses] = {0, 0, 0, 0};
+    int maxSingleOccupancy = 1;
+    if (m.isUniversal()) {
+        long total = 0;
+        for (NodeId n = 0; n < g.numNodes(); ++n) {
+            total += m.occupancy(g.node(n).op);
+            maxSingleOccupancy =
+                std::max(maxSingleOccupancy, m.occupancy(g.node(n).op));
+        }
+        const long units = m.unitsFor(FuClass::Mem);
+        const long bound = (total + units - 1) / units;
+        return int(std::max<long>(maxSingleOccupancy,
+                                  std::max<long>(1, bound)));
+    }
+
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        const Opcode op = g.node(n).op;
+        occupancy[int(fuClassOf(op))] += m.occupancy(op);
+        // A non-pipelined op re-needs its unit after II cycles, so the
+        // pattern only fits if II >= occupancy.
+        maxSingleOccupancy = std::max(maxSingleOccupancy, m.occupancy(op));
+    }
+
+    long bound = 1;
+    for (int fu = 0; fu < numFuClasses; ++fu) {
+        const long units = m.unitsFor(FuClass(fu));
+        if (occupancy[fu] == 0)
+            continue;
+        SWP_ASSERT(units > 0, "ops of class ", fuClassName(FuClass(fu)),
+                   " but machine has no such unit");
+        bound = std::max(bound, (occupancy[fu] + units - 1) / units);
+    }
+    return int(std::max<long>(bound, maxSingleOccupancy));
+}
+
+namespace
+{
+
+/**
+ * Bellman-Ford positive-cycle detection with edge weight
+ * latency(src) - II * distance. A positive cycle exists iff some
+ * dependence cycle needs more than II cycles per iteration.
+ */
+bool
+hasPositiveCycle(const Ddg &g, const Machine &m, int ii,
+                 const std::vector<bool> *inSubset)
+{
+    const int n = g.numNodes();
+    // Longest-path relaxation from a virtual source connected to all
+    // nodes with weight 0.
+    std::vector<long> dist(std::size_t(n), 0);
+    for (int iter = 0; iter < n; ++iter) {
+        bool changed = false;
+        for (EdgeId e = 0; e < g.numEdges(); ++e) {
+            const Edge &edge = g.edge(e);
+            if (!edge.alive)
+                continue;
+            if (inSubset &&
+                (!(*inSubset)[std::size_t(edge.src)] ||
+                 !(*inSubset)[std::size_t(edge.dst)])) {
+                continue;
+            }
+            const long w =
+                m.latency(g.node(edge.src).op) - long(ii) * edge.distance;
+            if (dist[std::size_t(edge.src)] + w >
+                dist[std::size_t(edge.dst)]) {
+                dist[std::size_t(edge.dst)] =
+                    dist[std::size_t(edge.src)] + w;
+                changed = true;
+            }
+        }
+        if (!changed)
+            return false;
+    }
+    return true;
+}
+
+int
+recMiiImpl(const Ddg &g, const Machine &m,
+           const std::vector<bool> *inSubset)
+{
+    // Upper bound: sum of latencies (a cycle of distance >= 1 per edge
+    // cannot require more).
+    long hi = 1;
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (inSubset && !(*inSubset)[std::size_t(n)])
+            continue;
+        hi += m.latency(g.node(n).op);
+    }
+
+    if (!hasPositiveCycle(g, m, 1, inSubset))
+        return 1;
+
+    long lo = 1;  // infeasible
+    while (lo + 1 < hi) {
+        const long mid = lo + (hi - lo) / 2;
+        if (hasPositiveCycle(g, m, int(mid), inSubset))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return int(hi);
+}
+
+} // namespace
+
+int
+recMii(const Ddg &g, const Machine &m)
+{
+    return recMiiImpl(g, m, nullptr);
+}
+
+int
+recMiiOfComponent(const Ddg &g, const Machine &m,
+                  const std::vector<NodeId> &nodes)
+{
+    std::vector<bool> subset(std::size_t(g.numNodes()), false);
+    for (NodeId v : nodes)
+        subset[std::size_t(v)] = true;
+    return recMiiImpl(g, m, &subset);
+}
+
+int
+mii(const Ddg &g, const Machine &m)
+{
+    return std::max(resMii(g, m), recMii(g, m));
+}
+
+bool
+iiFeasibleForRecurrences(const Ddg &g, const Machine &m, int ii)
+{
+    return !hasPositiveCycle(g, m, ii, nullptr);
+}
+
+} // namespace swp

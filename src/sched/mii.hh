@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lower bounds on the initiation interval (Section 2.2).
+ *
+ * MII = max(ResMII, RecMII). ResMII counts functional-unit occupancy
+ * (non-pipelined units contribute their full latency, and any single
+ * non-pipelined operation forces II >= its occupancy). RecMII is the
+ * maximum over dependence cycles of ceil(sum(latency) / sum(distance)),
+ * computed exactly by binary search with positive-cycle detection.
+ */
+
+#ifndef SWP_SCHED_MII_HH
+#define SWP_SCHED_MII_HH
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+
+namespace swp
+{
+
+/** Resource-constrained lower bound on II. */
+int resMii(const Ddg &g, const Machine &m);
+
+/** Recurrence-constrained lower bound on II (1 if the graph is acyclic). */
+int recMii(const Ddg &g, const Machine &m);
+
+/** RecMII restricted to a node subset (used to rank recurrences). */
+int recMiiOfComponent(const Ddg &g, const Machine &m,
+                      const std::vector<NodeId> &nodes);
+
+/** MII = max(ResMII, RecMII). */
+int mii(const Ddg &g, const Machine &m);
+
+/**
+ * True if scheduling the graph at the given II admits no positive
+ * dependence cycle, i.e. II >= RecMII. Exposed for tests.
+ */
+bool iiFeasibleForRecurrences(const Ddg &g, const Machine &m, int ii);
+
+} // namespace swp
+
+#endif // SWP_SCHED_MII_HH

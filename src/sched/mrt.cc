@@ -1,0 +1,152 @@
+#include "sched/mrt.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+Mrt::Mrt(const Machine &m, int ii) : m_(m), ii_(ii)
+{
+    SWP_ASSERT(ii >= 1, "MRT needs a positive II");
+    int base = 0;
+    for (int fu = 0; fu < numFuClasses; ++fu) {
+        classBase_[fu] = base;
+        // For universal machines all classes alias class 0; allocate its
+        // units once and give the rest zero width.
+        const int units =
+            m.isUniversal() ? (fu == 0 ? m.unitsFor(FuClass(0)) : 0)
+                            : m.unitsFor(FuClass(fu));
+        base += units * ii;
+    }
+    classBase_[numFuClasses] = base;
+    occupant_.assign(std::size_t(base), invalidNode);
+}
+
+int
+Mrt::cell(FuClass fu, int unit, int row) const
+{
+    const int fi = m_.isUniversal() ? 0 : int(fu);
+    return classBase_[fi] + unit * ii_ + row;
+}
+
+int
+Mrt::findUnit(Opcode op, int t) const
+{
+    const FuClass fu = fuClassOf(op);
+    const int units = m_.unitsFor(fu);
+    const int occ = m_.occupancy(op);
+    if (occ > ii_)
+        return -1;
+    for (int u = 0; u < units; ++u) {
+        bool free = true;
+        for (int c = 0; c < occ && free; ++c) {
+            const int row = Schedule::floorMod(t + c, ii_);
+            free = occupant_[std::size_t(cell(fu, u, row))] == invalidNode;
+        }
+        if (free)
+            return u;
+    }
+    return -1;
+}
+
+int
+Mrt::place(Opcode op, int t, NodeId n)
+{
+    const int u = findUnit(op, t);
+    if (u < 0)
+        return -1;
+    const FuClass fu = fuClassOf(op);
+    const int occ = m_.occupancy(op);
+    for (int c = 0; c < occ; ++c) {
+        const int row = Schedule::floorMod(t + c, ii_);
+        occupant_[std::size_t(cell(fu, u, row))] = n;
+    }
+    return u;
+}
+
+void
+Mrt::remove(Opcode op, int t, NodeId n, int u)
+{
+    const FuClass fu = fuClassOf(op);
+    const int occ = m_.occupancy(op);
+    for (int c = 0; c < occ; ++c) {
+        const int row = Schedule::floorMod(t + c, ii_);
+        const int idx = cell(fu, u, row);
+        SWP_ASSERT(occupant_[std::size_t(idx)] == n,
+                   "MRT remove of non-occupant node ", n);
+        occupant_[std::size_t(idx)] = invalidNode;
+    }
+}
+
+bool
+Mrt::canPlaceGroup(const Ddg &g, const ComplexGroup &grp, int t0) const
+{
+    // The members may compete for the same units, so a per-member
+    // canPlace() check is insufficient; simulate the placement on a
+    // scratch copy.
+    Mrt scratch(*this);
+    for (std::size_t i = 0; i < grp.members.size(); ++i) {
+        const NodeId n = grp.members[i];
+        if (scratch.place(g.node(n).op, t0 + grp.offsets[i], n) < 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+Mrt::placeGroup(const Ddg &g, const ComplexGroup &grp, int t0,
+                Schedule &sched)
+{
+    std::vector<int> units(grp.members.size(), -1);
+    for (std::size_t i = 0; i < grp.members.size(); ++i) {
+        const NodeId n = grp.members[i];
+        const int t = t0 + grp.offsets[i];
+        const int u = place(g.node(n).op, t, n);
+        if (u < 0) {
+            // Roll back the members placed so far.
+            for (std::size_t j = 0; j < i; ++j) {
+                remove(g.node(grp.members[j]).op, t0 + grp.offsets[j],
+                       grp.members[j], units[j]);
+            }
+            return false;
+        }
+        units[i] = u;
+    }
+    for (std::size_t i = 0; i < grp.members.size(); ++i)
+        sched.set(grp.members[i], t0 + grp.offsets[i], int(units[i]));
+    return true;
+}
+
+void
+Mrt::removeGroup(const Ddg &g, const ComplexGroup &grp,
+                 const Schedule &sched)
+{
+    for (NodeId n : grp.members) {
+        remove(g.node(n).op, sched.time(n), n, sched.unit(n));
+    }
+}
+
+std::vector<NodeId>
+Mrt::conflicts(Opcode op, int t) const
+{
+    const FuClass fu = fuClassOf(op);
+    const int units = m_.unitsFor(fu);
+    const int occ = std::min(m_.occupancy(op), ii_);
+    std::vector<NodeId> blockers;
+    for (int u = 0; u < units; ++u) {
+        for (int c = 0; c < occ; ++c) {
+            const int row = Schedule::floorMod(t + c, ii_);
+            const NodeId n = occupant_[std::size_t(cell(fu, u, row))];
+            if (n != invalidNode &&
+                std::find(blockers.begin(), blockers.end(), n) ==
+                    blockers.end()) {
+                blockers.push_back(n);
+            }
+        }
+    }
+    return blockers;
+}
+
+} // namespace swp

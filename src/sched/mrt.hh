@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Modulo reservation table (MRT).
+ *
+ * The MRT tracks, for every kernel row (cycle mod II) and every physical
+ * functional unit, which operation occupies it. Pipelined units are
+ * occupied for one row per operation; non-pipelined units (div/sqrt in
+ * the paper's machines) are occupied for latency consecutive rows.
+ * Placement also supports complex groups: several nodes at fixed offsets
+ * placed and released atomically.
+ */
+
+#ifndef SWP_SCHED_MRT_HH
+#define SWP_SCHED_MRT_HH
+
+#include <vector>
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/groups.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/** Modulo reservation table for one (graph, machine, II) triple. */
+class Mrt
+{
+  public:
+    Mrt(const Machine &m, int ii);
+
+    int ii() const { return ii_; }
+
+    /**
+     * Try to find a free unit for op at absolute time t.
+     * @return unit index within the class, or -1 when fully busy.
+     */
+    int findUnit(Opcode op, int t) const;
+
+    /** True if the op can be placed at time t. */
+    bool canPlace(Opcode op, int t) const { return findUnit(op, t) >= 0; }
+
+    /**
+     * Reserve a unit for node n (opcode op) at time t.
+     * @return the unit index used, or -1 when no unit is free.
+     */
+    int place(Opcode op, int t, NodeId n);
+
+    /** Release the reservation of node n (opcode op) at time t, unit u. */
+    void remove(Opcode op, int t, NodeId n, int u);
+
+    /**
+     * True if a whole complex group anchored at time t0 fits
+     * (all members simultaneously).
+     */
+    bool canPlaceGroup(const Ddg &g, const ComplexGroup &grp, int t0) const;
+
+    /**
+     * Atomically place a complex group anchored at t0, recording each
+     * member's time and unit into the schedule.
+     * @return false (and leave the table untouched) if any member fails.
+     */
+    bool placeGroup(const Ddg &g, const ComplexGroup &grp, int t0,
+                    Schedule &sched);
+
+    /** Release a previously placed group using the schedule's units. */
+    void removeGroup(const Ddg &g, const ComplexGroup &grp,
+                     const Schedule &sched);
+
+    /**
+     * Occupants that block op at time t (each at most once). Used by
+     * iterative modulo scheduling to decide what to evict.
+     */
+    std::vector<NodeId> conflicts(Opcode op, int t) const;
+
+  private:
+    int cell(FuClass fu, int unit, int row) const;
+
+    const Machine &m_;
+    int ii_;
+    /** Occupant node per (class, unit, row); -1 when free. */
+    std::vector<NodeId> occupant_;
+    /** Flattened offsets per class. */
+    int classBase_[numFuClasses + 1];
+};
+
+} // namespace swp
+
+#endif // SWP_SCHED_MRT_HH

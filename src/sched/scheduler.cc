@@ -1,0 +1,32 @@
+#include "sched/scheduler.hh"
+
+#include "sched/hrms.hh"
+#include "sched/ims.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+std::unique_ptr<ModuloScheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Hrms:
+        return std::make_unique<HrmsScheduler>();
+      case SchedulerKind::Ims:
+        return std::make_unique<ImsScheduler>();
+    }
+    SWP_PANIC("unknown scheduler kind ", int(kind));
+}
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Hrms: return "HRMS";
+      case SchedulerKind::Ims: return "IMS";
+    }
+    SWP_PANIC("unknown scheduler kind ", int(kind));
+}
+
+} // namespace swp

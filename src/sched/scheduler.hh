@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Abstract modulo scheduler interface.
+ *
+ * The paper's techniques (increase-II and iterative spilling) are
+ * scheduler-agnostic; every scheduler in this library implements this
+ * interface and the register-constrained drivers work with any of them.
+ */
+
+#ifndef SWP_SCHED_SCHEDULER_HH
+#define SWP_SCHED_SCHEDULER_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/** A modulo scheduling algorithm. */
+class ModuloScheduler
+{
+  public:
+    virtual ~ModuloScheduler() = default;
+
+    /** Algorithm name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Attempt to build a complete schedule at exactly the given II.
+     * Complex groups (non-spillable fused edges) must be honoured.
+     *
+     * @return A complete, normalized schedule, or nullopt if the
+     *         algorithm fails at this II.
+     */
+    virtual std::optional<Schedule> scheduleAt(const Ddg &g,
+                                               const Machine &m,
+                                               int ii) = 0;
+};
+
+/** Available scheduling algorithms. */
+enum class SchedulerKind
+{
+    Hrms,  ///< Hypernode Reduction Modulo Scheduling (register sensitive).
+    Ims,   ///< Rau's Iterative Modulo Scheduling (register insensitive).
+};
+
+/** Factory. */
+std::unique_ptr<ModuloScheduler> makeScheduler(SchedulerKind kind);
+
+/** Printable name of a scheduler kind. */
+const char *schedulerKindName(SchedulerKind kind);
+
+} // namespace swp
+
+#endif // SWP_SCHED_SCHEDULER_HH

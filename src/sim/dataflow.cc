@@ -1,0 +1,155 @@
+#include "sim/dataflow.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+constexpr std::uint64_t streamTag = 0x51beadf00dull;
+constexpr std::uint64_t invTag = 0x1174a61a47ull;
+constexpr std::uint64_t liveInTag = 0x11f3116e55ull;
+constexpr std::uint64_t opTag = 0x093a17e0ull;
+
+std::uint64_t
+combine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+} // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+loadStreamValue(NodeId load, long iteration)
+{
+    return mix64(combine(streamTag,
+                         combine(std::uint64_t(load),
+                                 std::uint64_t(iteration))));
+}
+
+std::uint64_t
+invariantValue(InvId inv)
+{
+    return mix64(combine(invTag, std::uint64_t(inv)));
+}
+
+std::uint64_t
+liveInValue(NodeId producer, long iteration)
+{
+    return mix64(combine(liveInTag,
+                         combine(std::uint64_t(producer),
+                                 std::uint64_t(iteration))));
+}
+
+std::uint64_t
+DataflowOracle::value(NodeId n, long iteration)
+{
+    const auto key = std::make_pair(n, iteration);
+    const auto it = memo_.find(key);
+    if (it != memo_.end())
+        return it->second;
+    const std::uint64_t v = compute(n, iteration);
+    memo_.emplace(key, v);
+    return v;
+}
+
+std::uint64_t
+DataflowOracle::compute(NodeId n, long iteration)
+{
+    const Node &node = g_.node(n);
+
+    // Spill loads recover the spilled token directly.
+    switch (node.spillRef.kind) {
+      case SpillRef::Kind::StoreSlot:
+        // What the spill store wrote `shift` iterations ago: its datum.
+        return value(NodeId(node.spillRef.value),
+                     iteration - node.spillRef.shift);
+      case SpillRef::Kind::ReloadStream:
+        return loadStreamValue(NodeId(node.spillRef.value),
+                               iteration - node.spillRef.shift);
+      case SpillRef::Kind::InvariantMem:
+        return invariantValue(InvId(node.spillRef.value));
+      case SpillRef::Kind::None:
+        break;
+    }
+
+    if (node.op == Opcode::Load)
+        return loadStreamValue(n, iteration);
+
+    // Live-in instances of computed values. Stores are excluded: a
+    // store "datum" from before the loop must resolve to its producer's
+    // live-in token, which is what the original consumers saw.
+    if (iteration < 0 && node.op != Opcode::Store)
+        return liveInValue(n, iteration);
+
+    // Gather the input multiset: register operands and invariants.
+    std::vector<std::uint64_t> inputs;
+    for (EdgeId e : g_.inEdges(n)) {
+        const Edge &edge = g_.edge(e);
+        if (edge.kind != DepKind::RegFlow)
+            continue;
+        inputs.push_back(value(edge.src, iteration - edge.distance));
+    }
+    for (InvId inv : node.invariantUses)
+        inputs.push_back(invariantValue(inv));
+
+    std::sort(inputs.begin(), inputs.end());
+    return combineOperands(node.op, n, inputs);
+}
+
+std::uint64_t
+combineOperands(Opcode op, NodeId n,
+                const std::vector<std::uint64_t> &inputs)
+{
+    if ((op == Opcode::Store || op == Opcode::Copy) &&
+        inputs.size() == 1) {
+        // A store's datum / a copy's result is its operand.
+        return inputs[0];
+    }
+    std::uint64_t acc = combine(opTag, std::uint64_t(int(op)));
+    acc = combine(acc, std::uint64_t(n));
+    for (std::uint64_t in : inputs)
+        acc = combine(acc, in);
+    return mix64(acc);
+}
+
+std::vector<std::uint64_t>
+DataflowOracle::storeStream(NodeId store, long iterations)
+{
+    SWP_ASSERT(g_.node(store).op == Opcode::Store,
+               "storeStream on non-store node");
+    std::vector<std::uint64_t> stream;
+    stream.reserve(std::size_t(iterations));
+    for (long i = 0; i < iterations; ++i)
+        stream.push_back(value(store, i));
+    return stream;
+}
+
+std::map<NodeId, std::vector<std::uint64_t>>
+referenceStoreStreams(const Ddg &g, long iterations)
+{
+    DataflowOracle oracle(g);
+    std::map<NodeId, std::vector<std::uint64_t>> streams;
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (g.node(n).op == Opcode::Store &&
+            g.node(n).origin == NodeOrigin::Original) {
+            streams[n] = oracle.storeStream(n, iterations);
+        }
+    }
+    return streams;
+}
+
+} // namespace swp

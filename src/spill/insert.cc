@@ -1,0 +1,249 @@
+#include "spill/insert.hh"
+
+#include <algorithm>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** Live fused register-flow in-edges of a node (stagger base). */
+int
+countFusedInEdges(const Ddg &g, NodeId n)
+{
+    int count = 0;
+    for (EdgeId e : g.inEdges(n)) {
+        const Edge &edge = g.edge(e);
+        if (edge.kind == DepKind::RegFlow && edge.nonSpillable)
+            ++count;
+    }
+    return count;
+}
+
+/**
+ * Insert a spill load feeding `use`, reading per `ref`. The fused delay
+ * is the load latency plus one cycle per fused sibling already feeding
+ * the consumer, so the reloads of one consumer occupy distinct rows.
+ */
+NodeId
+addSpillLoad(Ddg &g, const Machine &m, NodeId consumer,
+             const SpillRef &ref, const std::string &base)
+{
+    const int delay =
+        m.latency(Opcode::Load) + countFusedInEdges(g, consumer);
+    const NodeId load = g.addNode(
+        Opcode::Load, "Ls_" + base + "_" + g.node(consumer).name,
+        NodeOrigin::SpillLoad);
+    g.node(load).spillRef = ref;
+    g.node(load).nonSpillableValue = true;
+    const EdgeId e =
+        g.addEdge(load, consumer, DepKind::RegFlow, 0,
+                  /*non_spillable=*/true);
+    g.edge(e).fusedDelay = delay;
+    return load;
+}
+
+/** Matches select.cc: a distance-0 single-input store of this value. */
+EdgeId
+findReusableStore(const Ddg &g, const std::vector<EdgeId> &uses)
+{
+    for (EdgeId e : uses) {
+        const Edge &edge = g.edge(e);
+        if (edge.distance != 0)
+            continue;
+        const Node &consumer = g.node(edge.dst);
+        if (consumer.op != Opcode::Store ||
+            !consumer.invariantUses.empty()) {
+            continue;
+        }
+        int regInputs = 0;
+        for (EdgeId in : g.inEdges(edge.dst)) {
+            if (g.edge(in).kind == DepKind::RegFlow)
+                ++regInputs;
+        }
+        if (regInputs == 1)
+            return e;
+    }
+    return -1;
+}
+
+SpillEdit
+spillInvariant(Ddg &g, const Machine &m, InvId inv)
+{
+    SWP_ASSERT(!g.invariant(inv).spilled, "invariant ",
+               g.invariant(inv).name, " spilled twice");
+    SWP_ASSERT(g.invariant(inv).spillable, "invariant ",
+               g.invariant(inv).name, " is not spillable");
+    const std::string invName = g.invariant(inv).name;
+    const std::vector<NodeId> consumers = g.invariant(inv).consumers;
+
+    SpillEdit edit;
+    // The store that parks the invariant in memory executes before the
+    // loop, so only the per-use reloads cost anything inside the kernel.
+    for (NodeId consumer : consumers) {
+        SpillRef ref;
+        ref.kind = SpillRef::Kind::InvariantMem;
+        ref.value = inv;
+        addSpillLoad(g, m, consumer, ref, invName);
+        ++edit.loadsAdded;
+
+        // The consumer now receives the value through a register; drop
+        // one direct invariant use.
+        auto &uses = g.node(consumer).invariantUses;
+        const auto it = std::find(uses.begin(), uses.end(), inv);
+        SWP_ASSERT(it != uses.end(), "invariant bookkeeping out of sync");
+        uses.erase(it);
+    }
+    g.invariant(inv).consumers.clear();
+    g.invariant(inv).spilled = true;
+    return edit;
+}
+
+SpillEdit
+spillVariant(Ddg &g, const Machine &m, NodeId producer)
+{
+    // Note: addNode() may reallocate the node table, so no Node&
+    // reference is held across insertions; the name is copied.
+    SWP_ASSERT(!g.node(producer).nonSpillableValue, "value of ",
+               g.node(producer).name, " is non-spillable");
+    const auto uses = g.valueUses(producer);
+    SWP_ASSERT(!uses.empty(), "spilling dead value of ",
+               g.node(producer).name);
+    const std::string prodName = g.node(producer).name;
+
+    SpillEdit edit;
+
+    if (g.node(producer).op == Opcode::Load) {
+        // Producer-is-load: the value already lives in memory; re-load
+        // it at each use with the use's own iteration shift. The
+        // original load keeps running (it may still feed other values
+        // in general graphs) but this value's register edges disappear.
+        for (EdgeId e : uses) {
+            const Edge edge = g.edge(e);
+            g.killEdge(e);
+            SpillRef ref;
+            ref.kind = SpillRef::Kind::ReloadStream;
+            ref.value = producer;
+            ref.shift = edge.distance;
+            addSpillLoad(g, m, edge.dst, ref, prodName);
+            ++edit.loadsAdded;
+        }
+        g.node(producer).nonSpillableValue = true;
+        return edit;
+    }
+
+    const EdgeId reusable = findReusableStore(g, uses);
+    NodeId store = invalidNode;
+    if (reusable >= 0) {
+        // Reuse the existing store; keep (and fuse) its incoming edge so
+        // the residual lifetime producer->store stays minimal.
+        store = g.edge(reusable).dst;
+        g.edge(reusable).nonSpillable = true;
+        g.edge(reusable).fusedDelay =
+            m.latency(g.node(producer).op) + countFusedInEdges(g, store);
+        edit.reusedStore = true;
+    } else {
+        store = g.addNode(Opcode::Store, "Ss_" + prodName,
+                          NodeOrigin::SpillStore);
+        const EdgeId e = g.addEdge(producer, store, DepKind::RegFlow, 0,
+                                   /*non_spillable=*/true);
+        g.edge(e).fusedDelay = m.latency(g.node(producer).op);
+        ++edit.storesAdded;
+    }
+
+    for (EdgeId e : uses) {
+        if (e == reusable)
+            continue;
+        const Edge edge = g.edge(e);
+        g.killEdge(e);
+        SpillRef ref;
+        ref.kind = SpillRef::Kind::StoreSlot;
+        ref.value = store;
+        ref.shift = edge.distance;
+        const NodeId load = addSpillLoad(g, m, edge.dst, ref, prodName);
+        g.addEdge(store, load, DepKind::Mem, edge.distance);
+        ++edit.loadsAdded;
+    }
+
+    // The residual producer->store lifetime must never be re-selected.
+    g.node(producer).nonSpillableValue = true;
+    return edit;
+}
+
+/**
+ * Spill a single use (Section 6 extension): only the candidate's use
+ * edge is served from memory; the value keeps its register for the
+ * remaining consumers.
+ */
+SpillEdit
+spillUse(Ddg &g, const Machine &m, NodeId producer, EdgeId use)
+{
+    const Edge edge = g.edge(use);
+    SWP_ASSERT(edge.alive && edge.src == producer,
+               "stale use-spill candidate");
+    const std::string prodName = g.node(producer).name;
+
+    SpillEdit edit;
+
+    if (g.node(producer).op == Opcode::Load) {
+        g.killEdge(use);
+        SpillRef ref;
+        ref.kind = SpillRef::Kind::ReloadStream;
+        ref.value = producer;
+        ref.shift = edge.distance;
+        addSpillLoad(g, m, edge.dst, ref, prodName);
+        ++edit.loadsAdded;
+        return edit;
+    }
+
+    NodeId store = existingSpillStore(g, producer);
+    if (store == invalidNode) {
+        const EdgeId reusable = findReusableStore(g, g.valueUses(producer));
+        if (reusable >= 0 && reusable != use) {
+            store = g.edge(reusable).dst;
+            g.edge(reusable).nonSpillable = true;
+            g.edge(reusable).fusedDelay =
+                m.latency(g.node(producer).op) +
+                countFusedInEdges(g, store);
+            edit.reusedStore = true;
+        } else {
+            store = g.addNode(Opcode::Store, "Ss_" + prodName,
+                              NodeOrigin::SpillStore);
+            const EdgeId e = g.addEdge(producer, store, DepKind::RegFlow,
+                                       0, /*non_spillable=*/true);
+            g.edge(e).fusedDelay = m.latency(g.node(producer).op);
+            ++edit.storesAdded;
+            // The residual producer->store tie makes the value
+            // non-spillable at value granularity; further long uses can
+            // still be peeled off through the parked copy.
+            g.node(producer).nonSpillableValue = true;
+        }
+    }
+
+    g.killEdge(use);
+    SpillRef ref;
+    ref.kind = SpillRef::Kind::StoreSlot;
+    ref.value = store;
+    ref.shift = edge.distance;
+    const NodeId load = addSpillLoad(g, m, edge.dst, ref, prodName);
+    g.addEdge(store, load, DepKind::Mem, edge.distance);
+    ++edit.loadsAdded;
+    return edit;
+}
+
+} // namespace
+
+SpillEdit
+insertSpill(Ddg &g, const Machine &m, const SpillCandidate &cand)
+{
+    if (cand.isInvariant)
+        return spillInvariant(g, m, cand.inv);
+    if (cand.useEdge >= 0)
+        return spillUse(g, m, cand.node, cand.useEdge);
+    return spillVariant(g, m, cand.node);
+}
+
+} // namespace swp

@@ -1,0 +1,33 @@
+#include "support/diag.hh"
+
+#include <sstream>
+
+namespace swp
+{
+
+namespace
+{
+
+std::string
+format(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << ": " << msg << " [" << file << ":" << line << "]";
+    return os.str();
+}
+
+} // namespace
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(format("fatal", file, line, msg));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(format("panic", file, line, msg));
+}
+
+} // namespace swp

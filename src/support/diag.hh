@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Diagnostic helpers: fatal/panic error reporting and checked assertions.
+ *
+ * Following the gem5 convention, panic() is for internal invariant
+ * violations (library bugs) and fatal() is for user-level errors such as
+ * malformed input graphs or impossible machine configurations.
+ */
+
+#ifndef SWP_SUPPORT_DIAG_HH
+#define SWP_SUPPORT_DIAG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swp
+{
+
+/** Exception raised for user-level errors (bad input, bad configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception raised for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace swp
+
+/** Report an unrecoverable user-level error and throw FatalError. */
+#define SWP_FATAL(...) \
+    ::swp::fatalImpl(__FILE__, __LINE__, ::swp::detail::concat(__VA_ARGS__))
+
+/** Report an internal invariant violation and throw PanicError. */
+#define SWP_PANIC(...) \
+    ::swp::panicImpl(__FILE__, __LINE__, ::swp::detail::concat(__VA_ARGS__))
+
+/** Checked assertion that is active in all build types. */
+#define SWP_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::swp::panicImpl(__FILE__, __LINE__,                           \
+                ::swp::detail::concat("assertion '", #cond, "' failed: ",  \
+                                      __VA_ARGS__));                       \
+        }                                                                  \
+    } while (0)
+
+#endif // SWP_SUPPORT_DIAG_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The synthetic workload suite must be bit-reproducible across platforms
+ * and standard-library versions, so we implement our own small PRNG
+ * (xoshiro256**) and our own distribution helpers instead of relying on
+ * <random>, whose distributions are not portable.
+ */
+
+#ifndef SWP_SUPPORT_RNG_HH
+#define SWP_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+#include "support/diag.hh"
+
+namespace swp
+{
+
+/**
+ * Deterministic xoshiro256** generator with splitmix64 seeding.
+ *
+ * Identical sequences are produced for identical seeds on every platform,
+ * which makes every workload in the benchmark suite reproducible from a
+ * single integer.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    range(int lo, int hi)
+    {
+        SWP_ASSERT(lo <= hi, "bad range [", lo, ", ", hi, "]");
+        const std::uint64_t span = std::uint64_t(hi) - std::uint64_t(lo) + 1;
+        return lo + int(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Pick an index in [0, n) according to integer weights.
+     *
+     * @param weights Array of n non-negative weights, not all zero.
+     * @param n       Number of entries.
+     */
+    int
+    pickWeighted(const int *weights, int n)
+    {
+        long total = 0;
+        for (int i = 0; i < n; ++i)
+            total += weights[i];
+        SWP_ASSERT(total > 0, "pickWeighted with zero total weight");
+        long r = long(next() % std::uint64_t(total));
+        for (int i = 0; i < n; ++i) {
+            r -= weights[i];
+            if (r < 0)
+                return i;
+        }
+        return n - 1;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_RNG_HH

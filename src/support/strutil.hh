@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string utilities shared by the .ddg parser and table printers.
+ */
+
+#ifndef SWP_SUPPORT_STRUTIL_HH
+#define SWP_SUPPORT_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace swp
+{
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a delimiter character, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Split on arbitrary whitespace, dropping empty fields. */
+std::vector<std::string> splitWs(const std::string &s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Parse a non-negative integer; throws FatalError on garbage. */
+long parseLong(const std::string &s);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_STRUTIL_HH

@@ -1,0 +1,118 @@
+#include "workload/paper_loops.hh"
+
+#include "ir/builder.hh"
+#include "ir/verify.hh"
+#include "support/diag.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+Ddg
+buildApsi47Analogue()
+{
+    // Two opposing reduction spines over a shared vector of loads. Each
+    // element is needed near the *start* of one spine and near the *end*
+    // of the other, so even a lifetime-minimizing scheduler is forced to
+    // keep most of the vector live across the whole body: the pressure
+    // is pure scheduling component and melts away as the II grows.
+    //
+    // Sizing for P2L4: 11 loads + 2 stores = 13 memory ops -> ResMII 7
+    // (the paper's optimal II for this loop); 10 adds and 10 muls keep
+    // the other units below that bound; no loop-carried dependence, so
+    // RecMII = 1. At II=7 the shared vector costs ~55-65 registers,
+    // close to the paper's 54.
+    constexpr int numElems = 11;
+
+    DdgBuilder b("apsi47");
+    NodeId ld[numElems];
+    for (int j = 0; j < numElems; ++j)
+        ld[j] = b.load(strprintf("Ld%d", j));
+
+    // Forward additive spine: s_j = s_{j-1} + x_j.
+    NodeId sum = ld[0];
+    for (int j = 1; j < numElems; ++j) {
+        const NodeId add = b.add(strprintf("A%d", j));
+        b.flow(sum, add);
+        b.flow(ld[j], add);
+        sum = add;
+    }
+
+    // Backward multiplicative spine: p_j = p_{j+1} * x_j.
+    NodeId prod = ld[numElems - 1];
+    for (int j = numElems - 2; j >= 0; --j) {
+        const NodeId mul = b.mul(strprintf("M%d", j));
+        b.flow(prod, mul);
+        b.flow(ld[j], mul);
+        prod = mul;
+    }
+
+    const NodeId stSum = b.store("StS");
+    b.flow(sum, stSum);
+    const NodeId stProd = b.store("StP");
+    b.flow(prod, stProd);
+
+    Ddg g = b.take();
+    std::string why;
+    SWP_ASSERT(verifyDdg(g, &why), "apsi47 analogue malformed: ", why);
+    return g;
+}
+
+Ddg
+buildApsi50Analogue()
+{
+    // A bank of filter taps with second-order self-recurrences plus a
+    // band of invariant coefficients. Each tap's accumulator is consumed
+    // by itself two iterations later, contributing a distance component
+    // of exactly 2 registers at *any* II (26 in total), and the 8
+    // invariants hold their registers forever: 26 + 8 > 32, so
+    // increasing the II can never reach 32 registers.
+    constexpr int numTaps = 13;
+    constexpr int numInvs = 8;
+
+    DdgBuilder b("apsi50");
+    InvId coeff[numInvs];
+    NodeId taps[numTaps];
+
+    // Declare invariant coefficients up front; consumers attach below.
+    for (int c = 0; c < numInvs; ++c)
+        coeff[c] = b.graph().addInvariant(strprintf("c%d", c));
+
+    for (int t = 0; t < numTaps; ++t) {
+        const NodeId ld = b.load(strprintf("Ld%d", t));
+        const NodeId mul = b.mul(strprintf("M%d", t));
+        b.flow(ld, mul);
+        b.graph().addInvariantUse(coeff[t % numInvs], mul);
+        const NodeId acc = b.add(strprintf("T%d", t));
+        b.flow(mul, acc);
+        b.flow(acc, acc, 2);  // y_t(i) depends on y_t(i-2).
+        taps[t] = acc;
+    }
+
+    // Combine the taps in a balanced tree and store.
+    std::vector<NodeId> frontier(taps, taps + numTaps);
+    int level = 0;
+    while (frontier.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+            const NodeId add =
+                b.add(strprintf("R%d_%zu", level, i / 2));
+            b.flow(frontier[i], add);
+            b.flow(frontier[i + 1], add);
+            next.push_back(add);
+        }
+        if (frontier.size() % 2)
+            next.push_back(frontier.back());
+        frontier = std::move(next);
+        ++level;
+    }
+    const NodeId st = b.store("St");
+    b.flow(frontier[0], st);
+
+    Ddg g = b.take();
+    std::string why;
+    SWP_ASSERT(verifyDdg(g, &why), "apsi50 analogue malformed: ", why);
+    return g;
+}
+
+} // namespace swp

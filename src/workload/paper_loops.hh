@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Hand-authored analogues of the paper's case-study loops.
+ *
+ * The paper tracks two loops from the Perfect Club program APSI (ADM)
+ * through Figures 4 and 7:
+ *
+ *  - "APSI 47" (first loop of subroutine CPADE): needs ~54 registers at
+ *    its optimal II of 7 on P2L4, but its pressure is dominated by
+ *    scheduling components, so increasing the II *converges*: 32
+ *    registers around II=13, 16 registers around II=31.
+ *
+ *  - "APSI 50" (second loop of subroutine PADEC): needs ~55 registers,
+ *    but distance components (22 registers worth) plus invariants put a
+ *    floor under its requirement, so increasing the II *never* reaches
+ *    32 registers; it plateaus around 41.
+ *
+ * The original source is unavailable; these analogues are built to have
+ * the same structural signature (op counts sized for ResMII=7 on P2L4, a
+ * long reduction spine for 47, a deep cross-iteration tap bank for 50)
+ * and reproduce the qualitative behaviour of both figures.
+ */
+
+#ifndef SWP_WORKLOAD_PAPER_LOOPS_HH
+#define SWP_WORKLOAD_PAPER_LOOPS_HH
+
+#include "ir/ddg.hh"
+
+namespace swp
+{
+
+/** Converging case study (Figure 4a / Figure 7a). */
+Ddg buildApsi47Analogue();
+
+/** Non-converging case study (Figure 4b / Figure 7b). */
+Ddg buildApsi50Analogue();
+
+} // namespace swp
+
+#endif // SWP_WORKLOAD_PAPER_LOOPS_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * IF-conversion tests: select insertion, nesting, loop-carried uses of
+ * merged values, store handling, error cases, and end-to-end
+ * pipelining of converted loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/verify.hh"
+#include "pipeliner/pipeliner.hh"
+#include "sim/vliw.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+namespace
+{
+
+/**
+ *   x   = ld
+ *   c   = ld
+ *   if (c) { y = x * g } else { y = x + x }
+ *   st(y)
+ */
+CfgLoop
+diamondLoop()
+{
+    CfgLoop loop;
+    loop.name = "diamond";
+    loop.invariants = {"g"};
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "x", {}));
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "c", {}));
+    loop.body.push_back(CfgStmt::makeIf(
+        CfgOperand::value("c"),
+        {CfgStmt::makeOp(Opcode::Mul, "y",
+                         {CfgOperand::value("x"), CfgOperand::inv("g")})},
+        {CfgStmt::makeOp(Opcode::Add, "y",
+                         {CfgOperand::value("x"),
+                          CfgOperand::value("x")})}));
+    loop.body.push_back(
+        CfgStmt::makeOp(Opcode::Store, "", {CfgOperand::value("y")}));
+    return loop;
+}
+
+TEST(IfConvert, DiamondBecomesSelect)
+{
+    const CfgLoop loop = diamondLoop();
+    EXPECT_EQ(countSelects(loop), 1);
+
+    const Ddg g = ifConvert(loop);
+    std::string why;
+    ASSERT_TRUE(verifyDdg(g, &why)) << why;
+
+    // x, c, mul, add, select, store.
+    EXPECT_EQ(g.numNodes(), 6);
+    int selects = 0;
+    NodeId sel = invalidNode;
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (g.node(n).op == Opcode::Select) {
+            ++selects;
+            sel = n;
+        }
+    }
+    ASSERT_EQ(selects, 1);
+    // The select reads the condition and both versions: 3 inputs.
+    EXPECT_EQ(g.inEdges(sel).size(), 3u);
+    // The store consumes the select, not either branch value.
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (g.node(n).op == Opcode::Store) {
+            EXPECT_EQ(g.edge(g.inEdges(n)[0]).src, sel);
+        }
+    }
+}
+
+TEST(IfConvert, OneSidedUpdateMergesWithPriorValue)
+{
+    //   acc = add(ld)          -- prior value
+    //   if (c) { acc = add(acc, ld2) }
+    //   st(acc)
+    CfgLoop loop;
+    loop.name = "onesided";
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "ld", {}));
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "c", {}));
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Add, "acc",
+                                        {CfgOperand::value("ld")}));
+    loop.body.push_back(CfgStmt::makeIf(
+        CfgOperand::value("c"),
+        {CfgStmt::makeOp(Opcode::Add, "acc",
+                         {CfgOperand::value("acc"),
+                          CfgOperand::value("ld")})},
+        {}));
+    loop.body.push_back(
+        CfgStmt::makeOp(Opcode::Store, "", {CfgOperand::value("acc")}));
+
+    EXPECT_EQ(countSelects(loop), 1);
+    const Ddg g = ifConvert(loop);
+    std::string why;
+    EXPECT_TRUE(verifyDdg(g, &why)) << why;
+}
+
+TEST(IfConvert, NestedIfsConvertInsideOut)
+{
+    //   x = ld; c1 = ld; c2 = ld
+    //   if (c1) { if (c2) { v = mul(x,x) } else { v = add(x,x) } }
+    //   else    { v = copy(x) }
+    //   st(v)
+    CfgLoop loop;
+    loop.name = "nested";
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "x", {}));
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "c1", {}));
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "c2", {}));
+    std::vector<CfgStmt> inner = {CfgStmt::makeIf(
+        CfgOperand::value("c2"),
+        {CfgStmt::makeOp(Opcode::Mul, "v",
+                         {CfgOperand::value("x"),
+                          CfgOperand::value("x")})},
+        {CfgStmt::makeOp(Opcode::Add, "v",
+                         {CfgOperand::value("x"),
+                          CfgOperand::value("x")})})};
+    loop.body.push_back(CfgStmt::makeIf(
+        CfgOperand::value("c1"), std::move(inner),
+        {CfgStmt::makeOp(Opcode::Copy, "v",
+                         {CfgOperand::value("x")})}));
+    loop.body.push_back(
+        CfgStmt::makeOp(Opcode::Store, "", {CfgOperand::value("v")}));
+
+    EXPECT_EQ(countSelects(loop), 2);  // Inner merge + outer merge.
+    const Ddg g = ifConvert(loop);
+    std::string why;
+    EXPECT_TRUE(verifyDdg(g, &why)) << why;
+}
+
+TEST(IfConvert, CarriedUseBindsToTheMergedValue)
+{
+    //   c = ld
+    //   if (c) { s = add(s@1, c) } else { s = copy(s@1) }
+    //   st(s)
+    // The loop-carried reads of s must reach the *select*, giving a
+    // recurrence through the merge.
+    CfgLoop loop;
+    loop.name = "carried";
+    loop.body.push_back(CfgStmt::makeOp(Opcode::Load, "c", {}));
+    loop.body.push_back(CfgStmt::makeIf(
+        CfgOperand::value("c"),
+        {CfgStmt::makeOp(Opcode::Add, "s",
+                         {CfgOperand::value("s", 1),
+                          CfgOperand::value("c")})},
+        {CfgStmt::makeOp(Opcode::Copy, "s",
+                         {CfgOperand::value("s", 1)})}));
+    loop.body.push_back(
+        CfgStmt::makeOp(Opcode::Store, "", {CfgOperand::value("s")}));
+
+    const Ddg g = ifConvert(loop);
+    std::string why;
+    ASSERT_TRUE(verifyDdg(g, &why)) << why;
+
+    // The carried edges originate at the select.
+    NodeId sel = invalidNode;
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (g.node(n).op == Opcode::Select)
+            sel = n;
+    }
+    ASSERT_NE(sel, invalidNode);
+    int carriedFromSelect = 0;
+    for (EdgeId e : g.valueUses(sel))
+        carriedFromSelect += g.edge(e).distance == 1;
+    EXPECT_EQ(carriedFromSelect, 2);
+}
+
+TEST(IfConvert, Errors)
+{
+    // Zero-distance forward reference.
+    CfgLoop fwd;
+    fwd.body.push_back(
+        CfgStmt::makeOp(Opcode::Store, "", {CfgOperand::value("x")}));
+    fwd.body.push_back(CfgStmt::makeOp(Opcode::Load, "x", {}));
+    EXPECT_THROW(ifConvert(fwd), FatalError);
+
+    // Conditional definition with no prior value.
+    CfgLoop oneSide;
+    oneSide.body.push_back(CfgStmt::makeOp(Opcode::Load, "c", {}));
+    oneSide.body.push_back(CfgStmt::makeIf(
+        CfgOperand::value("c"),
+        {CfgStmt::makeOp(Opcode::Load, "y", {})}, {}));
+    oneSide.body.push_back(
+        CfgStmt::makeOp(Opcode::Store, "", {CfgOperand::value("y")}));
+    EXPECT_THROW(ifConvert(oneSide), FatalError);
+
+    // Unknown invariant.
+    CfgLoop badInv;
+    badInv.body.push_back(
+        CfgStmt::makeOp(Opcode::Add, "a", {CfgOperand::inv("nope")}));
+    EXPECT_THROW(ifConvert(badInv), FatalError);
+
+    // Store defining a name.
+    CfgLoop badStore;
+    badStore.body.push_back(CfgStmt::makeOp(Opcode::Load, "x", {}));
+    badStore.body.push_back(CfgStmt::makeOp(Opcode::Store, "oops",
+                                            {CfgOperand::value("x")}));
+    EXPECT_THROW(ifConvert(badStore), FatalError);
+}
+
+TEST(IfConvert, ConvertedLoopPipelinesAndExecutes)
+{
+    const Ddg g = ifConvert(diamondLoop());
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 8;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::BestOfAll,
+                                          opts);
+    ASSERT_TRUE(r.success);
+    std::string why;
+    EXPECT_TRUE(equivalentToSequential(g, r.graph, m, r.sched,
+                                       r.alloc.rotAlloc, 20, &why))
+        << why;
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Iterative Modulo Scheduling tests: correctness, backtracking under
+ * resource pressure, recurrences and complex groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "machine/machine.hh"
+#include "sched/ims.hh"
+#include "sched/mii.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(Ims, SchedulesPaperExampleAtMii)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    ImsScheduler ims;
+    const auto s = ims.scheduleAt(g, m, 1);
+    ASSERT_TRUE(s.has_value());
+    std::string why;
+    EXPECT_TRUE(validateSchedule(g, m, *s, &why)) << why;
+}
+
+TEST(Ims, FailsBelowRecMii)
+{
+    DdgBuilder b("rec");
+    const NodeId a = b.add("a");
+    b.flow(a, a, 1);
+    const NodeId st = b.store();
+    b.flow(a, st);
+    const Ddg g = b.take();
+    ImsScheduler ims;
+    EXPECT_FALSE(ims.scheduleAt(g, Machine::p2l4(), 3).has_value());
+    EXPECT_TRUE(ims.scheduleAt(g, Machine::p2l4(), 4).has_value());
+}
+
+TEST(Ims, SaturatedResourcesForceEvictionButConverge)
+{
+    // 12 independent mem streams on one mem unit: heavy competition at
+    // the exact ResMII.
+    DdgBuilder b("sat");
+    for (int i = 0; i < 6; ++i) {
+        const NodeId ld = b.load();
+        const NodeId st = b.store();
+        b.flow(ld, st);
+    }
+    const Ddg g = b.take();
+    const Machine m = Machine::p1l4();
+    ASSERT_EQ(mii(g, m), 12);
+
+    ImsScheduler ims;
+    const auto s = ims.scheduleAt(g, m, 12);
+    ASSERT_TRUE(s.has_value());
+    std::string why;
+    EXPECT_TRUE(validateSchedule(g, m, *s, &why)) << why;
+}
+
+TEST(Ims, HandlesFusedGroupsAtExactOffsets)
+{
+    DdgBuilder b("fused");
+    const NodeId ld = b.load("Ls");
+    const NodeId mul = b.mul("*");
+    const NodeId st = b.store("st");
+    b.graph().addEdge(ld, mul, DepKind::RegFlow, 0, true);
+    b.flow(mul, st);
+    const Ddg g = b.take();
+    const Machine m = Machine::p2l4();
+
+    ImsScheduler ims;
+    const auto s = ims.scheduleAt(g, m, 2);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->time(mul) - s->time(ld), m.latency(Opcode::Load));
+}
+
+TEST(Ims, NonPipelinedDivideRespected)
+{
+    DdgBuilder b("dv");
+    const NodeId ld = b.load();
+    const NodeId dv = b.div();
+    const NodeId st = b.store();
+    b.flow(ld, dv);
+    b.flow(dv, st);
+    const Ddg g = b.take();
+    ImsScheduler ims;
+    EXPECT_FALSE(ims.scheduleAt(g, Machine::p2l4(), 16).has_value());
+    EXPECT_TRUE(ims.scheduleAt(g, Machine::p2l4(), 17).has_value());
+}
+
+TEST(Ims, MixedRecurrenceAndResourcePressure)
+{
+    DdgBuilder b("mix");
+    const NodeId acc = b.add("acc");
+    b.flow(acc, acc, 1);
+    std::vector<NodeId> lds;
+    for (int i = 0; i < 4; ++i) {
+        const NodeId ld = b.load();
+        lds.push_back(ld);
+        const NodeId mul = b.mul();
+        b.flow(ld, mul);
+        const NodeId st = b.store();
+        b.flow(mul, st);
+    }
+    b.flow(lds[0], acc);
+    const NodeId st = b.store();
+    b.flow(acc, st);
+    const Ddg g = b.take();
+    const Machine m = Machine::p1l4();
+
+    ImsScheduler ims;
+    const int lower = mii(g, m);
+    const auto s = ims.scheduleAt(g, m, lower);
+    ASSERT_TRUE(s.has_value());
+    std::string why;
+    EXPECT_TRUE(validateSchedule(g, m, *s, &why)) << why;
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the DDG representation, builder, graph algorithms and the
+ * structural verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/graph_algo.hh"
+#include "ir/verify.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(Ddg, BuildsPaperExampleShape)
+{
+    const Ddg g = buildPaperExampleLoop();
+    EXPECT_EQ(g.numNodes(), 4);
+    EXPECT_EQ(g.numEdges(), 4);
+    EXPECT_EQ(g.numInvariants(), 1);
+    EXPECT_EQ(g.numMemOps(), 2);
+
+    // Ld has two uses, one of them loop carried at distance 3.
+    const auto uses = g.valueUses(0);
+    ASSERT_EQ(uses.size(), 2u);
+    int carried = 0;
+    for (EdgeId e : uses)
+        carried += g.edge(e).distance;
+    EXPECT_EQ(carried, 3);
+}
+
+TEST(Ddg, KillEdgeHidesItEverywhere)
+{
+    DdgBuilder b("kill");
+    const NodeId ld = b.load();
+    const NodeId st = b.store();
+    const EdgeId e = b.flow(ld, st);
+    Ddg g = b.take();
+
+    EXPECT_EQ(g.outEdges(ld).size(), 1u);
+    g.killEdge(e);
+    EXPECT_TRUE(g.outEdges(ld).empty());
+    EXPECT_TRUE(g.inEdges(st).empty());
+    EXPECT_EQ(g.numValueUses(ld), 0);
+}
+
+TEST(Ddg, RegFlowFromStoreIsRejected)
+{
+    DdgBuilder b("bad");
+    const NodeId st = b.store();
+    const NodeId add = b.add();
+    EXPECT_THROW(b.graph().addEdge(st, add, DepKind::RegFlow),
+                 PanicError);
+}
+
+TEST(Ddg, InvariantBookkeeping)
+{
+    DdgBuilder b("inv");
+    const NodeId m1 = b.mul();
+    const NodeId m2 = b.mul();
+    const InvId a = b.invariant("a", {m1, m2});
+    const Ddg &g = b.graph();
+    EXPECT_EQ(g.invariant(a).consumers.size(), 2u);
+    EXPECT_EQ(g.node(m1).invariantUses.size(), 1u);
+    EXPECT_EQ(g.numLiveInvariants(), 1);
+}
+
+TEST(GraphAlgo, SccFindsRecurrence)
+{
+    DdgBuilder b("rec");
+    const NodeId a = b.add("a");
+    const NodeId c = b.add("c");
+    const NodeId d = b.add("d");
+    b.flow(a, c);
+    b.flow(c, d);
+    b.flow(d, a, 1);  // Closes the cycle with distance 1.
+    const Ddg g = b.take();
+
+    const SccResult scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.numComps(), 1);
+    EXPECT_TRUE(scc.isRecurrence[0]);
+}
+
+TEST(GraphAlgo, SelfEdgeIsARecurrence)
+{
+    DdgBuilder b("self");
+    const NodeId a = b.add("a");
+    b.flow(a, a, 2);
+    const Ddg g = b.take();
+    const SccResult scc = stronglyConnectedComponents(g);
+    ASSERT_EQ(scc.numComps(), 1);
+    EXPECT_TRUE(scc.isRecurrence[0]);
+}
+
+TEST(GraphAlgo, TopologicalOrderRespectsDag)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const auto order = topologicalOrderIntraIteration(g);
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<int> pos(4);
+    for (int i = 0; i < 4; ++i)
+        pos[std::size_t(order[std::size_t(i)])] = i;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        if (g.edge(e).distance == 0) {
+            EXPECT_LT(pos[std::size_t(g.edge(e).src)],
+                      pos[std::size_t(g.edge(e).dst)]);
+        }
+    }
+}
+
+TEST(GraphAlgo, ZeroDistanceCycleIsFatal)
+{
+    DdgBuilder b("cycle");
+    const NodeId a = b.add("a");
+    const NodeId c = b.add("c");
+    b.flow(a, c);
+    b.flow(c, a);  // Distance 0 cycle: not executable.
+    const Ddg g = b.take();
+    EXPECT_THROW(topologicalOrderIntraIteration(g), FatalError);
+    std::string why;
+    EXPECT_FALSE(verifyDdg(g, &why));
+    EXPECT_NE(why.find("cycle"), std::string::npos);
+}
+
+TEST(GraphAlgo, ReachabilityThroughSccAndBeyond)
+{
+    //  a -> b <-> c -> d   (b,c recurrence)
+    DdgBuilder bld("reach");
+    const NodeId a = bld.add("a");
+    const NodeId b = bld.add("b");
+    const NodeId c = bld.add("c");
+    const NodeId d = bld.add("d");
+    bld.flow(a, b);
+    bld.flow(b, c);
+    bld.flow(c, b, 1);
+    bld.flow(c, d);
+    const Ddg g = bld.take();
+
+    const auto reach = reachability(g);
+    EXPECT_TRUE(reach[std::size_t(a)][std::size_t(d)]);
+    EXPECT_TRUE(reach[std::size_t(a)][std::size_t(b)]);
+    EXPECT_TRUE(reach[std::size_t(b)][std::size_t(b)]);  // Via the cycle.
+    EXPECT_TRUE(reach[std::size_t(c)][std::size_t(c)]);
+    EXPECT_FALSE(reach[std::size_t(a)][std::size_t(a)]);
+    EXPECT_FALSE(reach[std::size_t(d)][std::size_t(a)]);
+}
+
+TEST(Verify, AcceptsPaperExample)
+{
+    std::string why;
+    EXPECT_TRUE(verifyDdg(buildPaperExampleLoop(), &why)) << why;
+}
+
+TEST(Verify, RejectsFusedEdgeWithDistance)
+{
+    DdgBuilder b("fused");
+    const NodeId ld = b.load();
+    const NodeId add = b.add();
+    Ddg g = b.take();
+    g.addEdge(ld, add, DepKind::RegFlow, 1, /*non_spillable=*/true);
+    std::string why;
+    EXPECT_FALSE(verifyDdg(g, &why));
+}
+
+TEST(Verify, RejectsSpillLoadWithoutRef)
+{
+    DdgBuilder b("sl");
+    Ddg g = b.take();
+    const NodeId l =
+        g.addNode(Opcode::Load, "Ls", NodeOrigin::SpillLoad);
+    (void)l;
+    std::string why;
+    EXPECT_FALSE(verifyDdg(g, &why));
+    EXPECT_NE(why.find("SpillRef"), std::string::npos);
+}
+
+TEST(Opcode, RoundTripNames)
+{
+    for (Opcode op : {Opcode::Load, Opcode::Store, Opcode::Add,
+                      Opcode::Mul, Opcode::Div, Opcode::Sqrt,
+                      Opcode::Copy, Opcode::Nop}) {
+        EXPECT_EQ(parseOpcode(opcodeName(op)), op);
+    }
+    EXPECT_THROW(parseOpcode("bogus"), FatalError);
+}
+
+TEST(Opcode, FuClassesMatchPaperMachine)
+{
+    EXPECT_EQ(fuClassOf(Opcode::Load), FuClass::Mem);
+    EXPECT_EQ(fuClassOf(Opcode::Store), FuClass::Mem);
+    EXPECT_EQ(fuClassOf(Opcode::Add), FuClass::Adder);
+    EXPECT_EQ(fuClassOf(Opcode::Mul), FuClass::Mult);
+    EXPECT_EQ(fuClassOf(Opcode::Div), FuClass::DivSqrt);
+    EXPECT_EQ(fuClassOf(Opcode::Sqrt), FuClass::DivSqrt);
+    EXPECT_TRUE(producesValue(Opcode::Load));
+    EXPECT_FALSE(producesValue(Opcode::Store));
+    EXPECT_FALSE(producesValue(Opcode::Nop));
+}
+
+} // namespace
+} // namespace swp

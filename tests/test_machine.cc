@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Machine-model tests: the Section 5 configurations and occupancy rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(Machine, P1L4Shape)
+{
+    const Machine m = Machine::p1l4();
+    EXPECT_EQ(m.unitsFor(FuClass::Mem), 1);
+    EXPECT_EQ(m.unitsFor(FuClass::Adder), 1);
+    EXPECT_EQ(m.unitsFor(FuClass::Mult), 1);
+    EXPECT_EQ(m.unitsFor(FuClass::DivSqrt), 1);
+    EXPECT_EQ(m.latency(Opcode::Add), 4);
+    EXPECT_EQ(m.latency(Opcode::Mul), 4);
+    EXPECT_EQ(m.totalUnits(), 4);
+}
+
+TEST(Machine, CommonLatencies)
+{
+    for (const Machine &m :
+         {Machine::p1l4(), Machine::p2l4(), Machine::p2l6()}) {
+        EXPECT_EQ(m.latency(Opcode::Store), 1) << m.name();
+        EXPECT_EQ(m.latency(Opcode::Load), 2) << m.name();
+        EXPECT_EQ(m.latency(Opcode::Div), 17) << m.name();
+        EXPECT_EQ(m.latency(Opcode::Sqrt), 30) << m.name();
+    }
+}
+
+TEST(Machine, P2ConfigsDoubleEveryUnit)
+{
+    const Machine m = Machine::p2l4();
+    for (int fu = 0; fu < numFuClasses; ++fu)
+        EXPECT_EQ(m.unitsFor(FuClass(fu)), 2);
+    EXPECT_EQ(Machine::p2l6().latency(Opcode::Add), 6);
+    EXPECT_EQ(Machine::p2l6().latency(Opcode::Mul), 6);
+}
+
+TEST(Machine, DivSqrtNotPipelined)
+{
+    const Machine m = Machine::p2l4();
+    EXPECT_FALSE(m.pipelinedClass(FuClass::DivSqrt));
+    EXPECT_EQ(m.occupancy(Opcode::Div), 17);
+    EXPECT_EQ(m.occupancy(Opcode::Sqrt), 30);
+    EXPECT_EQ(m.occupancy(Opcode::Add), 1);
+    EXPECT_EQ(m.occupancy(Opcode::Load), 1);
+}
+
+TEST(Machine, UniversalMachineForTheWorkedExample)
+{
+    const Machine m = Machine::universal("fig2", 4, 2);
+    EXPECT_TRUE(m.isUniversal());
+    EXPECT_EQ(m.unitsFor(FuClass::Mem), 4);
+    EXPECT_EQ(m.unitsFor(FuClass::DivSqrt), 4);
+    EXPECT_EQ(m.latency(Opcode::Mul), 2);
+    EXPECT_EQ(m.occupancy(Opcode::Div), 1);  // Universal = pipelined.
+    EXPECT_EQ(m.totalUnits(), 4);
+}
+
+TEST(Machine, Overrides)
+{
+    Machine m = Machine::p1l4();
+    m.setLatency(Opcode::Add, 9);
+    EXPECT_EQ(m.latency(Opcode::Add), 9);
+    m.setPipelined(FuClass::Mult, false);
+    EXPECT_EQ(m.occupancy(Opcode::Mul), 4);
+}
+
+TEST(Machine, DescribeMentionsName)
+{
+    EXPECT_NE(Machine::p2l6().describe().find("P2L6"), std::string::npos);
+    EXPECT_NE(Machine::universal("u", 4, 2).describe().find("universal"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * MII computation tests: resource bound (including non-pipelined
+ * occupancy) and recurrence bound via min-cycle-ratio.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "machine/machine.hh"
+#include "sched/mii.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(ResMii, PaperExampleNeedsOneCycleOnFourUnits)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    // 4 ops on 4 universal units: one iteration per cycle.
+    EXPECT_EQ(resMii(g, m), 1);
+    EXPECT_EQ(mii(g, m), 1);
+}
+
+TEST(ResMii, MemoryBoundLoop)
+{
+    DdgBuilder b("membound");
+    std::vector<NodeId> lds;
+    for (int i = 0; i < 6; ++i)
+        lds.push_back(b.load());
+    NodeId acc = lds[0];
+    for (int i = 1; i < 6; ++i) {
+        const NodeId add = b.add();
+        b.flow(acc, add);
+        b.flow(lds[std::size_t(i)], add);
+        acc = add;
+    }
+    const NodeId st = b.store();
+    b.flow(acc, st);
+    const Ddg g = b.take();
+
+    // 7 memory ops on 1 unit vs 2 units.
+    EXPECT_EQ(resMii(g, Machine::p1l4()), 7);
+    EXPECT_EQ(resMii(g, Machine::p2l4()), 4);
+}
+
+TEST(ResMii, NonPipelinedDivideDominates)
+{
+    DdgBuilder b("div");
+    const NodeId ld = b.load();
+    const NodeId dv = b.div();
+    const NodeId st = b.store();
+    b.flow(ld, dv);
+    b.flow(dv, st);
+    const Ddg g = b.take();
+
+    // One divide occupies its unit 17 cycles: II >= 17 whatever else.
+    EXPECT_EQ(resMii(g, Machine::p2l4()), 17);
+}
+
+TEST(ResMii, TwoDividesOnOneUnit)
+{
+    DdgBuilder b("div2");
+    const NodeId ld = b.load();
+    const NodeId d1 = b.div();
+    const NodeId d2 = b.div();
+    const NodeId st = b.store();
+    b.flow(ld, d1);
+    b.flow(ld, d2);
+    b.flow(d1, st);
+    const NodeId st2 = b.store();
+    b.flow(d2, st2);
+    const Ddg g = b.take();
+
+    EXPECT_EQ(resMii(g, Machine::p1l4()), 34);  // 2 x 17 on one unit.
+    EXPECT_EQ(resMii(g, Machine::p2l4()), 17);  // One each.
+}
+
+TEST(RecMii, AcyclicLoopHasRecMiiOne)
+{
+    const Ddg g = buildPaperExampleLoop();
+    // The only carried edge (Ld->+ at distance 3) closes no cycle.
+    EXPECT_EQ(recMii(g, Machine::p2l4()), 1);
+}
+
+TEST(RecMii, SelfAccumulatorCeilsLatencyOverDistance)
+{
+    DdgBuilder b("acc");
+    const NodeId add = b.add("acc");
+    b.flow(add, add, 1);
+    const NodeId st = b.store();
+    b.flow(add, st);
+    const Ddg g = b.take();
+
+    // P2L4: add latency 4, distance 1 => RecMII 4.
+    EXPECT_EQ(recMii(g, Machine::p2l4()), 4);
+    // P2L6: latency 6.
+    EXPECT_EQ(recMii(g, Machine::p2l6()), 6);
+    // Distance 2 halves it (rounded up).
+    DdgBuilder b2("acc2");
+    const NodeId a2 = b2.add();
+    b2.flow(a2, a2, 2);
+    const NodeId st2 = b2.store();
+    b2.flow(a2, st2);
+    EXPECT_EQ(recMii(b2.take(), Machine::p2l6()), 3);
+}
+
+TEST(RecMii, MultiNodeCycle)
+{
+    DdgBuilder b("cyc");
+    const NodeId a = b.add("a");
+    const NodeId m = b.mul("m");
+    b.flow(a, m);
+    b.flow(m, a, 2);
+    const NodeId st = b.store();
+    b.flow(m, st);
+    const Ddg g = b.take();
+
+    // Cycle latency 4+4=8 over distance 2 => RecMII 4 on P2L4.
+    EXPECT_EQ(recMii(g, Machine::p2l4()), 4);
+    EXPECT_TRUE(iiFeasibleForRecurrences(g, Machine::p2l4(), 4));
+    EXPECT_FALSE(iiFeasibleForRecurrences(g, Machine::p2l4(), 3));
+}
+
+TEST(RecMii, TightestOfSeveralCyclesWins)
+{
+    DdgBuilder b("two");
+    const NodeId a = b.add("a");
+    b.flow(a, a, 4);  // 4/4 = 1 per iteration.
+    const NodeId m = b.mul("m");
+    b.flow(m, m, 1);  // 4/1 = 4.
+    const NodeId st = b.store();
+    b.flow(a, st);
+    const NodeId st2 = b.store();
+    b.flow(m, st2);
+    const Ddg g = b.take();
+    EXPECT_EQ(recMii(g, Machine::p2l4()), 4);
+
+    // Component-restricted RecMII separates them.
+    EXPECT_EQ(recMiiOfComponent(g, Machine::p2l4(), {a}), 1);
+    EXPECT_EQ(recMiiOfComponent(g, Machine::p2l4(), {m}), 4);
+}
+
+TEST(Mii, TakesTheMaxOfBothBounds)
+{
+    DdgBuilder b("both");
+    std::vector<NodeId> lds;
+    for (int i = 0; i < 8; ++i)
+        lds.push_back(b.load());
+    const NodeId acc = b.add("acc");
+    b.flow(lds[0], acc);
+    b.flow(acc, acc, 1);
+    const NodeId st = b.store();
+    b.flow(acc, st);
+    for (int i = 1; i < 8; ++i) {
+        const NodeId s = b.store();
+        b.flow(lds[std::size_t(i)], s);
+    }
+    const Ddg g = b.take();
+
+    const Machine m = Machine::p2l4();
+    EXPECT_EQ(resMii(g, m), 8);  // 16 mem ops over 2 units.
+    EXPECT_EQ(recMii(g, m), 4);
+    EXPECT_EQ(mii(g, m), 8);
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * MVE allocation tests: name periods, coloring validity, and the
+ * comparison against rotating-register allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "regalloc/mvealloc.hh"
+#include "regalloc/rotalloc.hh"
+#include "sched/hrms.hh"
+#include "sched/mii.hh"
+#include "workload/paper_loops.hh"
+#include "workload/suitegen.hh"
+
+namespace swp
+{
+namespace
+{
+
+Schedule
+paperFlatSchedule(int ii)
+{
+    Schedule s(ii, 4);
+    s.set(0, 0, 0);
+    s.set(1, 2, 1);
+    s.set(2, 4, 2);
+    s.set(3, 6, 3);
+    return s;
+}
+
+TEST(MveAlloc, PaperExampleUnrollAndPeriods)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const LifetimeInfo info = analyzeLifetimes(g, paperFlatSchedule(2));
+    ASSERT_EQ(mveUnrollFactor(info), 5);  // V1: ceil(10/2).
+
+    const MveAllocResult r = allocateMve(info);
+    EXPECT_EQ(r.unroll, 5);
+    // V1 needs all 5 names; V2/V3 need 1 (their LT = 2 = II, and 1
+    // divides 5).
+    EXPECT_EQ(r.period[0], 5);
+    EXPECT_EQ(r.period[1], 1);
+    EXPECT_EQ(r.period[2], 1);
+    EXPECT_EQ(r.period[3], 0);  // The store produces no value.
+}
+
+TEST(MveAlloc, RegisterCountAtLeastMaxLive)
+{
+    const Ddg g = buildPaperExampleLoop();
+    for (int ii = 1; ii <= 3; ++ii) {
+        const LifetimeInfo info =
+            analyzeLifetimes(g, paperFlatSchedule(ii));
+        const MveAllocResult r = allocateMve(info);
+        // Any valid allocation needs at least MaxLive registers.
+        EXPECT_GE(r.registers, info.maxLive) << "ii=" << ii;
+    }
+}
+
+TEST(MveAlloc, PeriodDividesUnroll)
+{
+    SuiteParams params;
+    params.numLoops = 20;
+    const Machine m = Machine::p2l4();
+    HrmsScheduler hrms;
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        const auto s = hrms.scheduleAt(loop.graph, m, mii(loop.graph, m));
+        if (!s)
+            continue;
+        const LifetimeInfo info = analyzeLifetimes(loop.graph, *s);
+        const MveAllocResult r = allocateMve(info);
+        for (NodeId n = 0; n < loop.graph.numNodes(); ++n) {
+            const Lifetime &lt = info.of(n);
+            if (!lt.live || lt.length() <= 0)
+                continue;
+            const int p = r.period[std::size_t(n)];
+            ASSERT_GT(p, 0);
+            EXPECT_EQ(r.unroll % p, 0) << loop.graph.name();
+            EXPECT_GE(long(p) * info.ii, long(lt.length()))
+                << loop.graph.name() << " node " << n;
+        }
+    }
+}
+
+TEST(MveAlloc, NeverBeatsRotatingByMoreThanNoise)
+{
+    // The rotating file can always emulate MVE naming, so the rotating
+    // allocation should need at most as many registers (modulo the
+    // greedy allocators' noise of a register or two).
+    SuiteParams params;
+    params.numLoops = 30;
+    const Machine m = Machine::p2l4();
+    HrmsScheduler hrms;
+    long mveTotal = 0, rotTotal = 0;
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        const auto s = hrms.scheduleAt(loop.graph, m, mii(loop.graph, m));
+        if (!s)
+            continue;
+        const LifetimeInfo info = analyzeLifetimes(loop.graph, *s);
+        mveTotal += allocateMve(info).registers;
+        rotTotal += minRotatingRegs(info);
+    }
+    EXPECT_GE(mveTotal, rotTotal);
+}
+
+TEST(MveAlloc, EmptyAndDeadValues)
+{
+    DdgBuilder b("dead");
+    const NodeId ld = b.load();
+    const NodeId st = b.store();
+    b.flow(ld, st);
+    const NodeId dead = b.load("dead");
+    (void)dead;
+    const Ddg g = b.take();
+
+    Schedule s(1, 3);
+    s.set(0, 0, 0);
+    s.set(1, 2, 1);
+    s.set(2, 0, 1);
+    const LifetimeInfo info = analyzeLifetimes(g, s);
+    const MveAllocResult r = allocateMve(info);
+    EXPECT_EQ(r.period[std::size_t(dead)], 0);
+    EXPECT_GE(r.registers, 2);  // ld's LT=2 at II=1 needs 2 names.
+}
+
+} // namespace
+} // namespace swp

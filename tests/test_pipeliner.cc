@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Register-constrained driver tests: increase-II, iterative spilling
+ * (with and without the Section 4.5 accelerators), best-of-all, and the
+ * convergence/divergence behaviour the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "pipeliner/pipeliner.hh"
+#include "sched/mii.hh"
+#include "workload/paper_loops.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(Pipeliner, IdealScheduleOfPaperExample)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    const PipelineResult r = pipelineIdeal(g, m);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.ii(), 1);
+    EXPECT_EQ(r.alloc.maxLive, 11);
+}
+
+TEST(Pipeliner, IncreaseIiReachesSevenRegisters)
+{
+    // Figure 3: at II=2 the example loop needs 7 registers (+1 inv).
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    PipelinerOptions opts;
+    opts.registers = 9;  // 7 rotating + 1 invariant fits; II=1 doesn't.
+    const PipelineResult r = pipelineLoop(g, m, Strategy::IncreaseII,
+                                          opts);
+    EXPECT_TRUE(r.success);
+    EXPECT_FALSE(r.usedFallback);
+    EXPECT_EQ(r.ii(), 2);
+    EXPECT_LE(r.alloc.regsRequired, 9);
+}
+
+TEST(Pipeliner, SpillingBeatsIncreaseIiOnTheExample)
+{
+    // Section 4.3: with 6 registers, spilling V1 yields II=2 and 5
+    // rotating registers, while increase-II needs II=3 or more.
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    PipelinerOptions opts;
+    opts.registers = 6;
+    opts.heuristic = SpillHeuristic::MaxLT;
+
+    const PipelineResult spill = pipelineLoop(g, m, Strategy::Spill, opts);
+    EXPECT_TRUE(spill.success);
+    EXPECT_FALSE(spill.usedFallback);
+    EXPECT_GT(spill.spilledLifetimes, 0);
+    EXPECT_LE(spill.alloc.regsRequired, 6);
+
+    const PipelineResult incr =
+        pipelineLoop(g, m, Strategy::IncreaseII, opts);
+    EXPECT_TRUE(incr.success);
+    EXPECT_GE(incr.ii(), spill.ii());
+}
+
+TEST(Pipeliner, SpillResultValidatesAndFits)
+{
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 32;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::Spill, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.alloc.regsRequired, 32);
+    std::string why;
+    EXPECT_TRUE(validateSchedule(r.graph, m, r.sched, &why)) << why;
+    EXPECT_GT(r.spilledLifetimes, 0);
+    // Spilling costs II: the final II exceeds the ideal MII.
+    EXPECT_GE(r.ii(), mii(g, m));
+}
+
+TEST(Pipeliner, Apsi47ConvergesUnderIncreaseIi)
+{
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 32;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::IncreaseII,
+                                          opts);
+    EXPECT_TRUE(r.success);
+    EXPECT_FALSE(r.usedFallback);
+    EXPECT_GT(r.ii(), mii(g, m));  // Had to slow down to fit.
+}
+
+TEST(Pipeliner, Apsi50NeverConvergesUnderIncreaseIi)
+{
+    const Ddg g = buildApsi50Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 32;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::IncreaseII,
+                                          opts);
+    // Falls back to local scheduling, and even that cannot fit the
+    // distance components + invariants in 32 registers.
+    EXPECT_TRUE(r.usedFallback);
+    EXPECT_FALSE(r.success);
+}
+
+TEST(Pipeliner, Apsi50ConvergesBySpilling)
+{
+    const Ddg g = buildApsi50Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 32;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::Spill, opts);
+    ASSERT_TRUE(r.success) << "spilling must reach 32 registers";
+    EXPECT_FALSE(r.usedFallback);
+    EXPECT_LE(r.alloc.regsRequired, 32);
+    std::string why;
+    EXPECT_TRUE(validateSchedule(r.graph, m, r.sched, &why)) << why;
+}
+
+TEST(Pipeliner, Apsi50ConvergesEvenTo16Registers)
+{
+    const Ddg g = buildApsi50Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 16;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::Spill, opts);
+    EXPECT_TRUE(r.success);
+    EXPECT_LE(r.alloc.regsRequired, 16);
+}
+
+TEST(Pipeliner, MultiSelectReducesAttempts)
+{
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions slow;
+    slow.registers = 24;
+    PipelinerOptions fast = slow;
+    fast.multiSelect = true;
+    fast.reuseLastIi = true;
+
+    const PipelineResult rSlow = pipelineLoop(g, m, Strategy::Spill, slow);
+    const PipelineResult rFast = pipelineLoop(g, m, Strategy::Spill, fast);
+    ASSERT_TRUE(rSlow.success);
+    ASSERT_TRUE(rFast.success);
+    EXPECT_LT(rFast.rounds, rSlow.rounds);
+    EXPECT_LE(rFast.attempts, rSlow.attempts);
+}
+
+TEST(Pipeliner, BestOfAllNeverWorseThanSpill)
+{
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 32;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    for (const Ddg &g :
+         {buildApsi47Analogue(), buildApsi50Analogue(),
+          buildPaperExampleLoop()}) {
+        const PipelineResult spill =
+            pipelineLoop(g, m, Strategy::Spill, opts);
+        const PipelineResult best =
+            pipelineLoop(g, m, Strategy::BestOfAll, opts);
+        ASSERT_TRUE(best.success) << g.name();
+        if (spill.success) {
+            EXPECT_LE(best.ii(), spill.ii()) << g.name();
+        }
+        std::string why;
+        EXPECT_TRUE(validateSchedule(best.graph, m, best.sched, &why))
+            << g.name() << ": " << why;
+    }
+}
+
+TEST(Pipeliner, NoPressureMeansNoSpill)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    PipelinerOptions opts;
+    opts.registers = 64;
+    const PipelineResult r = pipelineLoop(g, m, Strategy::Spill, opts);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.spilledLifetimes, 0);
+    EXPECT_EQ(r.ii(), 1);
+    EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(Pipeliner, RegistersAtIiSweepIsIiMonotoneForApsi47)
+{
+    // Figure 4a: the converging loop's requirement decreases (weakly,
+    // modulo small scheduler noise) as II grows; check the endpoints.
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    const int lower = mii(g, m);
+    const int early = registersAtIi(g, m, lower, opts);
+    const int late = registersAtIi(g, m, lower + 20, opts);
+    ASSERT_GT(early, 0);
+    ASSERT_GT(late, 0);
+    EXPECT_GT(early, 32);
+    EXPECT_LT(late, early);
+}
+
+TEST(Pipeliner, Apsi50FloorIsIiIndependent)
+{
+    // Figure 4b: the non-converging loop's requirement never drops to
+    // 32, no matter the II.
+    const Ddg g = buildApsi50Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    const int lower = mii(g, m);
+    for (int ii = lower; ii <= lower + 40; ii += 8) {
+        const int regs = registersAtIi(g, m, ii, opts);
+        if (regs < 0)
+            continue;
+        EXPECT_GT(regs, 32) << "ii=" << ii;
+    }
+}
+
+TEST(Pipeliner, SpillObserverSeesMonotoneRounds)
+{
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 24;
+    int lastRound = 0;
+    int calls = 0;
+    const PipelineResult r = spillStrategy(
+        g, m, opts, [&](const SpillRoundInfo &info) {
+            EXPECT_EQ(info.round, lastRound + 1);
+            lastRound = info.round;
+            ++calls;
+            EXPECT_GE(info.ii, info.mii);
+        });
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(calls, r.rounds);
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Parameterized property sweeps beyond the paper's configurations:
+ *
+ *  - allocator fuzz: random lifetime populations must always pack
+ *    conflict-free, never below MaxLive, under every strategy/ordering;
+ *  - machine sweep: the full register-constrained pipeline must stay
+ *    sound (valid schedules, budget respected, sequential equivalence)
+ *    on machine shapes the paper never evaluated, including
+ *    non-pipelined multipliers and long-latency memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeliner/pipeliner.hh"
+#include "regalloc/mvealloc.hh"
+#include "regalloc/rotalloc.hh"
+#include "sim/vliw.hh"
+#include "support/rng.hh"
+#include "workload/suitegen.hh"
+
+namespace swp
+{
+namespace
+{
+
+/** Build a LifetimeInfo directly from synthetic (start, length) pairs. */
+LifetimeInfo
+makeInfo(int ii, const std::vector<std::pair<int, int>> &ranges)
+{
+    LifetimeInfo info;
+    info.ii = ii;
+    info.pressure.assign(std::size_t(ii), 0);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        Lifetime lt;
+        lt.producer = NodeId(i);
+        lt.live = true;
+        lt.start = ranges[i].first;
+        lt.end = ranges[i].first + ranges[i].second;
+        info.lifetimes.push_back(lt);
+
+        const int len = ranges[i].second;
+        for (int r = 0; r < ii; ++r)
+            info.pressure[std::size_t(r)] += len / ii;
+        const int startRow = Schedule::floorMod(lt.start, ii);
+        for (int k = 0; k < len % ii; ++k)
+            info.pressure[std::size_t((startRow + k) % ii)] += 1;
+    }
+    info.maxLive = 0;
+    for (int p : info.pressure)
+        info.maxLive = std::max(info.maxLive, p);
+    return info;
+}
+
+class AllocFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AllocFuzz, RandomLifetimesAlwaysPackSoundly)
+{
+    Rng rng(std::uint64_t(GetParam()) * 7919 + 13);
+    const int ii = rng.range(2, 12);
+    const int numValues = rng.range(3, 40);
+    std::vector<std::pair<int, int>> ranges;
+    for (int i = 0; i < numValues; ++i) {
+        ranges.emplace_back(rng.range(0, 4 * ii),
+                            rng.range(1, 6 * ii));
+    }
+    const LifetimeInfo info = makeInfo(ii, ranges);
+
+    for (const FitStrategy fit :
+         {FitStrategy::EndFit, FitStrategy::FirstFit,
+          FitStrategy::BestFit}) {
+        for (const AllocOrder order :
+             {AllocOrder::Adjacency, AllocOrder::DescendingLength}) {
+            const int regs = minRotatingRegs(info, fit, order, 512);
+            ASSERT_LE(regs, 512) << fitStrategyName(fit);
+            EXPECT_GE(regs, info.maxLive) << fitStrategyName(fit);
+            const RotAllocResult alloc =
+                allocateRotating(info, regs, fit, order);
+            ASSERT_TRUE(alloc.ok) << fitStrategyName(fit);
+            std::string why;
+            EXPECT_TRUE(allocationConflictFree(info, alloc, &why))
+                << fitStrategyName(fit) << ": " << why;
+            // One fewer register must fail, or regs was not minimal.
+            if (regs > std::max(1, info.maxLive)) {
+                EXPECT_FALSE(
+                    allocateRotating(info, regs - 1, fit, order).ok)
+                    << fitStrategyName(fit);
+            }
+        }
+    }
+
+    // MVE allocation on the same population: valid periods, at least
+    // MaxLive registers.
+    const MveAllocResult mve = allocateMve(info);
+    EXPECT_GE(mve.registers, info.maxLive);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        const int p = mve.period[i];
+        ASSERT_GT(p, 0);
+        EXPECT_EQ(mve.unroll % p, 0);
+        EXPECT_GE(long(p) * ii, long(ranges[i].second));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocFuzz, ::testing::Range(0, 40));
+
+/** Exotic machine shapes (name + machine + budget). */
+struct MachineCase
+{
+    const char *label;
+    int memUnits, adders, mults, divsqrt, addMulLat;
+    bool pipelinedMult;
+    int loadLatency;
+    int registers;
+};
+
+class MachineSweep : public ::testing::TestWithParam<MachineCase>
+{
+  protected:
+    static Machine
+    build(const MachineCase &c)
+    {
+        Machine m("custom", c.memUnits, c.adders, c.mults, c.divsqrt,
+                  c.addMulLat);
+        if (!c.pipelinedMult)
+            m.setPipelined(FuClass::Mult, false);
+        m.setLatency(Opcode::Load, c.loadLatency);
+        return m;
+    }
+};
+
+TEST_P(MachineSweep, ConstrainedPipelineStaysSound)
+{
+    const MachineCase c = GetParam();
+    const Machine m = build(c);
+
+    SuiteParams params;
+    params.numLoops = 12;
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        PipelinerOptions opts;
+        opts.registers = c.registers;
+        opts.multiSelect = true;
+        opts.reuseLastIi = true;
+        const PipelineResult r =
+            pipelineLoop(loop.graph, m, Strategy::Spill, opts);
+
+        std::string why;
+        ASSERT_TRUE(validateSchedule(r.graph, m, r.sched, &why))
+            << c.label << " " << loop.graph.name() << ": " << why;
+        if (!r.success)
+            continue;
+        EXPECT_LE(r.alloc.regsRequired, c.registers)
+            << c.label << " " << loop.graph.name();
+        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph, m,
+                                           r.sched, r.alloc.rotAlloc, 8,
+                                           &why))
+            << c.label << " " << loop.graph.name() << ": " << why;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MachineSweep,
+    ::testing::Values(
+        MachineCase{"wide_short", 4, 4, 4, 2, 2, true, 2, 24},
+        MachineCase{"narrow_long", 1, 1, 1, 1, 8, true, 6, 16},
+        MachineCase{"unpipelined_mult", 2, 2, 1, 1, 4, false, 2, 24},
+        MachineCase{"slow_memory", 2, 2, 2, 1, 4, true, 12, 32},
+        MachineCase{"tiny_file", 2, 2, 2, 1, 4, true, 2, 10}),
+    [](const ::testing::TestParamInfo<MachineCase> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace swp

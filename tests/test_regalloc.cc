@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Rotating register allocation tests: the circular-packing conflict
+ * model, fit strategies, minimum-register search and the MaxLive bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "machine/machine.hh"
+#include "regalloc/rotalloc.hh"
+#include "sched/hrms.hh"
+#include "sched/mii.hh"
+
+namespace swp
+{
+namespace
+{
+
+Schedule
+paperFlatSchedule(int ii)
+{
+    Schedule s(ii, 4);
+    s.set(0, 0, 0);
+    s.set(1, 2, 1);
+    s.set(2, 4, 2);
+    s.set(3, 6, 3);
+    return s;
+}
+
+TEST(RotAlloc, PaperExampleFitsInMaxLive)
+{
+    const Ddg g = buildPaperExampleLoop();
+    for (int ii = 1; ii <= 3; ++ii) {
+        const LifetimeInfo info = analyzeLifetimes(g, paperFlatSchedule(ii));
+        const int regs = minRotatingRegs(info);
+        EXPECT_GE(regs, info.maxLive) << "ii=" << ii;
+        EXPECT_LE(regs, info.maxLive + 1) << "ii=" << ii;
+
+        const RotAllocResult alloc = allocateRotating(info, regs);
+        ASSERT_TRUE(alloc.ok);
+        std::string why;
+        EXPECT_TRUE(allocationConflictFree(info, alloc, &why)) << why;
+    }
+}
+
+TEST(RotAlloc, FailsBelowMaxLive)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const LifetimeInfo info = analyzeLifetimes(g, paperFlatSchedule(1));
+    ASSERT_EQ(info.maxLive, 11);
+    EXPECT_FALSE(allocateRotating(info, 10).ok);
+    EXPECT_TRUE(allocateRotating(info, 11).ok ||
+                allocateRotating(info, 12).ok);
+}
+
+TEST(RotAlloc, EveryStrategyProducesConflictFreePacking)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const LifetimeInfo info = analyzeLifetimes(g, paperFlatSchedule(2));
+    for (FitStrategy strat : {FitStrategy::EndFit, FitStrategy::FirstFit,
+                              FitStrategy::BestFit}) {
+        for (AllocOrder order : {AllocOrder::Adjacency,
+                                 AllocOrder::DescendingLength}) {
+            const int regs = minRotatingRegs(info, strat, order);
+            ASSERT_LE(regs, info.maxLive + 2)
+                << fitStrategyName(strat);
+            const RotAllocResult alloc =
+                allocateRotating(info, regs, strat, order);
+            ASSERT_TRUE(alloc.ok) << fitStrategyName(strat);
+            std::string why;
+            EXPECT_TRUE(allocationConflictFree(info, alloc, &why))
+                << fitStrategyName(strat) << ": " << why;
+        }
+    }
+}
+
+TEST(RotAlloc, LifetimeLongerThanWholeFileFails)
+{
+    DdgBuilder b("long");
+    const NodeId ld = b.load();
+    const NodeId add = b.add();
+    b.flow(ld, add, 9);  // Lifetime ~ 9*II.
+    const NodeId st = b.store();
+    b.flow(add, st);
+    const Ddg g = b.take();
+
+    Schedule s(2, 3);
+    s.set(ld, 0, 0);
+    s.set(add, 2, 0);
+    s.set(st, 6, 0);
+    const LifetimeInfo info = analyzeLifetimes(g, s);
+    ASSERT_GT(info.of(ld).length(), 2 * 8);
+    EXPECT_FALSE(allocateRotating(info, 8).ok);
+    EXPECT_TRUE(minRotatingRegs(info) >= 10);
+}
+
+TEST(RotAlloc, AllocationOutcomeAddsInvariants)
+{
+    const Ddg g = buildPaperExampleLoop();  // One invariant 'a'.
+    const Schedule s = paperFlatSchedule(2);
+    const AllocationOutcome out = allocateLoop(g, s, 32);
+    EXPECT_TRUE(out.fits);
+    EXPECT_EQ(out.invariants, 1);
+    EXPECT_EQ(out.regsRequired, out.rotating + 1);
+    EXPECT_GE(out.rotating, out.maxLive);
+
+    const AllocationOutcome tight = allocateLoop(g, s, out.regsRequired);
+    EXPECT_TRUE(tight.fits);
+    const AllocationOutcome tooTight =
+        allocateLoop(g, s, out.regsRequired - 1);
+    EXPECT_FALSE(tooTight.fits);
+}
+
+TEST(RotAlloc, DeadAndZeroLengthValuesNeedNoRegister)
+{
+    DdgBuilder b("dead");
+    const NodeId ld = b.load();
+    const NodeId st = b.store();
+    b.flow(ld, st);
+    const NodeId deadLd = b.load("dead");
+    (void)deadLd;
+    const Ddg g = b.take();
+
+    Schedule s(1, 3);
+    s.set(0, 0, 0);
+    s.set(1, 2, 1);
+    s.set(2, 0, 1);
+    const LifetimeInfo info = analyzeLifetimes(g, s);
+    const RotAllocResult alloc =
+        allocateRotating(info, minRotatingRegs(info));
+    EXPECT_TRUE(alloc.ok);
+    EXPECT_EQ(alloc.offset[std::size_t(deadLd)], -1);
+    EXPECT_GE(alloc.offset[std::size_t(ld)], 0);
+}
+
+TEST(RotAlloc, EndFitTracksMaxLiveOnScheduledLoops)
+{
+    // Property: on real HRMS schedules, end-fit adjacency allocation
+    // stays within MaxLive + 1 (the paper's [26] observation).
+    const Machine m = Machine::p2l4();
+    HrmsScheduler hrms;
+    const Ddg g = buildPaperExampleLoop();
+    for (int ii = mii(g, m); ii <= mii(g, m) + 8; ++ii) {
+        const auto s = hrms.scheduleAt(g, m, ii);
+        ASSERT_TRUE(s.has_value());
+        const LifetimeInfo info = analyzeLifetimes(g, *s);
+        const int regs = minRotatingRegs(info);
+        EXPECT_LE(regs, info.maxLive + 1) << "ii=" << ii;
+    }
+}
+
+} // namespace
+} // namespace swp

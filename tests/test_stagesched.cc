@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Stage-scheduling post-pass tests: validity preservation, register
+ * reduction on register-insensitive schedules, fused-group integrity,
+ * and the no-pessimization guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "sched/groups.hh"
+#include "sched/ims.hh"
+#include "sched/mii.hh"
+#include "liferange/stagesched.hh"
+#include "workload/paper_loops.hh"
+#include "workload/suitegen.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(StageSched, ImprovesAnArtificiallyBadSchedule)
+{
+    // ld -> add -> st with the consumer pushed 3 stages late: the
+    // post-pass must pull the chain together.
+    DdgBuilder b("bad");
+    const NodeId ld = b.load();
+    const NodeId add = b.add();
+    const NodeId st = b.store();
+    b.flow(ld, add);
+    b.flow(add, st);
+    const Ddg g = b.take();
+    const Machine m = Machine::p2l4();
+
+    Schedule s(2, 3);
+    s.set(ld, 0, 0);
+    s.set(add, 2 + 3 * 2, 0);  // 3 stages later than necessary.
+    s.set(st, 12 + 3 * 2, 1);  // Unit 1: row 0 of mem unit 0 is ld's.
+    ASSERT_TRUE(validateSchedule(g, m, s));
+
+    const StageSchedResult r = stageSchedule(g, m, s);
+    EXPECT_LT(r.maxLiveAfter, r.maxLiveBefore);
+    EXPECT_GT(r.moves, 0);
+    EXPECT_EQ(r.sched.ii(), 2);
+    // Rows must be preserved (that is the whole point of the pass).
+    for (NodeId n = 0; n < 3; ++n)
+        EXPECT_EQ(r.sched.row(n), s.row(n)) << "node " << n;
+}
+
+TEST(StageSched, NeverBreaksValidityOrIncreasesMaxLive)
+{
+    SuiteParams params;
+    params.numLoops = 25;
+    const Machine m = Machine::p2l4();
+    ImsScheduler ims;
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        const int lower = mii(loop.graph, m);
+        auto s = ims.scheduleAt(loop.graph, m, lower);
+        if (!s) {
+            s = ims.scheduleAt(loop.graph, m, lower + 1);
+            if (!s)
+                continue;
+        }
+        const StageSchedResult r = stageSchedule(loop.graph, m, *s);
+        std::string why;
+        EXPECT_TRUE(validateSchedule(loop.graph, m, r.sched, &why))
+            << loop.graph.name() << ": " << why;
+        EXPECT_LE(r.maxLiveAfter, r.maxLiveBefore) << loop.graph.name();
+        EXPECT_EQ(r.sched.ii(), s->ii());
+    }
+}
+
+TEST(StageSched, HelpsImsMoreThanHrms)
+{
+    // HRMS already minimizes lifetimes; IMS does not. Accumulated over
+    // loops, the pass should recover more registers from IMS schedules.
+    SuiteParams params;
+    params.numLoops = 30;
+    const Machine m = Machine::p2l4();
+    long savedIms = 0, savedHrms = 0;
+    auto hrms = makeScheduler(SchedulerKind::Hrms);
+    auto ims = makeScheduler(SchedulerKind::Ims);
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        const int lower = mii(loop.graph, m);
+        const auto sh = hrms->scheduleAt(loop.graph, m, lower);
+        const auto si = ims->scheduleAt(loop.graph, m, lower);
+        if (!sh || !si)
+            continue;
+        const StageSchedResult rh = stageSchedule(loop.graph, m, *sh);
+        const StageSchedResult ri = stageSchedule(loop.graph, m, *si);
+        savedHrms += rh.maxLiveBefore - rh.maxLiveAfter;
+        savedIms += ri.maxLiveBefore - ri.maxLiveAfter;
+    }
+    EXPECT_GE(savedIms, savedHrms);
+    EXPECT_GT(savedIms, 0);
+}
+
+TEST(StageSched, MovesFusedGroupsTogether)
+{
+    // A spill-load fused pair inside a chain: after re-staging, the
+    // fused offset must be intact.
+    DdgBuilder b("fused");
+    const NodeId ld = b.load("ld");
+    const NodeId a1 = b.add("a1");
+    b.flow(ld, a1);
+    const NodeId ls = b.load("Ls");
+    const NodeId a2 = b.add("a2");
+    const EdgeId fe = b.graph().addEdge(ls, a2, DepKind::RegFlow, 0, true);
+    (void)fe;
+    b.flow(a1, a2);
+    const NodeId st = b.store("st");
+    b.flow(a2, st);
+    Ddg g = b.take();
+    g.node(ls).origin = NodeOrigin::SpillLoad;
+    g.node(ls).spillRef.kind = SpillRef::Kind::ReloadStream;
+    g.node(ls).spillRef.value = ld;
+    g.node(ls).nonSpillableValue = true;
+    const Machine m = Machine::p2l4();
+
+    Schedule s(3, 5);
+    s.set(ld, 0, 0);
+    s.set(a1, 2, 0);
+    s.set(ls, 4 + 6, 1);   // Fused pair staged late together.
+    s.set(a2, 6 + 6, 1);
+    s.set(st, 12 + 6, 1);  // Mem unit 0 row 0 belongs to ld.
+    ASSERT_TRUE(validateSchedule(g, m, s));
+
+    const StageSchedResult r = stageSchedule(g, m, s);
+    std::string why;
+    EXPECT_TRUE(validateSchedule(g, m, r.sched, &why)) << why;
+    EXPECT_EQ(r.sched.time(a2) - r.sched.time(ls),
+              m.latency(Opcode::Load));
+}
+
+TEST(StageSched, NoopOnTightSchedules)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Machine m = Machine::universal("fig2", 4, 2);
+    Schedule s(1, 4);
+    s.set(0, 0, 0);
+    s.set(1, 2, 1);
+    s.set(2, 4, 2);
+    s.set(3, 6, 3);
+    const StageSchedResult r = stageSchedule(g, m, s);
+    // The chain is already as tight as dependences allow.
+    EXPECT_EQ(r.maxLiveAfter, r.maxLiveBefore);
+}
+
+} // namespace
+} // namespace swp

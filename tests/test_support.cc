@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the support layer: deterministic RNG, string utilities,
+ * tables and diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/diag.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeIsInclusiveAndCoversEndpoints)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.range(3, 6);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 6);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 4000.0, 0.5, 0.03);
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeights)
+{
+    Rng rng(3);
+    const int weights[3] = {0, 5, 0};
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.pickWeighted(weights, 3), 1);
+}
+
+TEST(Strutil, TrimStripsBothEnds)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strutil, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strutil, SplitWsDropsEmptyFields)
+{
+    const auto parts = splitWs("  ld   x1\t x2 ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "ld");
+    EXPECT_EQ(parts[2], "x2");
+}
+
+TEST(Strutil, ParseLongRejectsGarbage)
+{
+    EXPECT_EQ(parseLong("42"), 42);
+    EXPECT_EQ(parseLong(" -7 "), -7);
+    EXPECT_THROW(parseLong("x"), FatalError);
+    EXPECT_THROW(parseLong("12x"), FatalError);
+    EXPECT_THROW(parseLong(""), FatalError);
+}
+
+TEST(Strutil, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 3, "a"), "3-a");
+    EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"name", "value"});
+    t.row().add("a").add(1);
+    t.row().add("bb").add(22);
+    EXPECT_EQ(t.numRows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("bb"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().add(1).add(2.5, 1);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Diag, FatalAndPanicThrowDistinctTypes)
+{
+    EXPECT_THROW(SWP_FATAL("user error ", 1), FatalError);
+    EXPECT_THROW(SWP_PANIC("bug ", 2), PanicError);
+    EXPECT_NO_THROW(SWP_ASSERT(true, "fine"));
+    EXPECT_THROW(SWP_ASSERT(1 == 2, "broken"), PanicError);
+}
+
+TEST(Stats, AccumulatorTracksMoments)
+{
+    Accumulator acc;
+    acc.sample(1.0);
+    acc.sample(3.0);
+    EXPECT_EQ(acc.count(), 2u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(Stats, StopwatchAdvances)
+{
+    Stopwatch sw;
+    volatile long x = 0;
+    for (long i = 0; i < 100000; ++i)
+        x = x + i;
+    EXPECT_GT(sw.seconds(), 0.0);
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Loop unrolling tests: structure, dependence remapping across the
+ * unroll seam, invariant sharing, MII scaling, and end-to-end
+ * pipelining plus execution of the unrolled loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/unroll.hh"
+#include "ir/verify.hh"
+#include "support/diag.hh"
+#include "pipeliner/pipeliner.hh"
+#include "sched/mii.hh"
+#include "sim/vliw.hh"
+#include "workload/paper_loops.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(Unroll, FactorOneIsIdentity)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Ddg u = unrollLoop(g, 1);
+    EXPECT_EQ(u.numNodes(), g.numNodes());
+    EXPECT_EQ(u.numEdges(), g.numEdges());
+}
+
+TEST(Unroll, ReplicatesNodesEdgesAndSharesInvariants)
+{
+    const Ddg g = buildPaperExampleLoop();  // 4 nodes, 4 edges, 1 inv.
+    const Ddg u = unrollLoop(g, 3);
+    std::string why;
+    ASSERT_TRUE(verifyDdg(u, &why)) << why;
+    EXPECT_EQ(u.numNodes(), 12);
+    EXPECT_EQ(u.numEdges(), 12);
+    EXPECT_EQ(u.numInvariants(), 1);
+    // The invariant is consumed by all three multiply copies.
+    EXPECT_EQ(u.invariant(0).consumers.size(), 3u);
+}
+
+TEST(Unroll, CarriedDistanceRemapsAcrossTheSeam)
+{
+    // The paper example's Ld -> '+' edge has distance 3. Unrolled by
+    // 2, copy j covers original iteration 2I+j: copy 0 reads original
+    // iteration 2I-3 = 2(I-2)+1, i.e. Ld copy 1 at unrolled distance
+    // 2; copy 1 reads 2I-2 = 2(I-1)+0, i.e. Ld copy 0 at distance 1.
+    const Ddg g = buildPaperExampleLoop();
+    const Ddg u = unrollLoop(g, 2);
+
+    // Node numbering: copies of node n are 2n and 2n+1 in order.
+    const NodeId ld0 = 0, ld1 = 1, add0 = 4, add1 = 5;
+    ASSERT_EQ(u.node(ld0).op, Opcode::Load);
+    ASSERT_EQ(u.node(add0).op, Opcode::Add);
+
+    auto hasEdge = [&](NodeId src, NodeId dst, int dist) {
+        for (EdgeId e : u.outEdges(src)) {
+            if (u.edge(e).dst == dst && u.edge(e).distance == dist)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(hasEdge(ld1, add0, 2));
+    EXPECT_TRUE(hasEdge(ld0, add1, 1));
+    // Distance-0 edges stay within the copy.
+    EXPECT_TRUE(hasEdge(ld0, 2, 0));  // Ld#0 -> *#0.
+    EXPECT_TRUE(hasEdge(ld1, 3, 0));
+}
+
+TEST(Unroll, SelfRecurrenceDistanceDivides)
+{
+    // acc(i) = acc(i-2) + x: unrolled by 2, each copy depends on itself
+    // at distance 1.
+    DdgBuilder b("acc2");
+    const NodeId ld = b.load();
+    const NodeId acc = b.add("acc");
+    b.flow(ld, acc);
+    b.flow(acc, acc, 2);
+    const NodeId st = b.store();
+    b.flow(acc, st);
+    const Ddg u = unrollLoop(b.take(), 2);
+
+    const NodeId acc0 = 2, acc1 = 3;
+    auto selfDist = [&](NodeId n) {
+        for (EdgeId e : u.outEdges(n)) {
+            if (u.edge(e).dst == n)
+                return u.edge(e).distance;
+        }
+        return -1;
+    };
+    EXPECT_EQ(selfDist(acc0), 1);
+    EXPECT_EQ(selfDist(acc1), 1);
+}
+
+TEST(Unroll, ResMiiScalesRoughlyLinearly)
+{
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    const int base = resMii(g, m);
+    for (int factor : {2, 3}) {
+        const Ddg u = unrollLoop(g, factor);
+        const int scaled = resMii(u, m);
+        EXPECT_GE(scaled, base * factor - factor);
+        EXPECT_LE(scaled, base * factor + factor);
+    }
+}
+
+TEST(Unroll, UnrolledLoopPipelinesAndExecutes)
+{
+    const Ddg g = buildPaperExampleLoop();
+    const Ddg u = unrollLoop(g, 2);
+    const Machine m = Machine::universal("fig2", 4, 2);
+
+    PipelinerOptions opts;
+    opts.registers = 16;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    const PipelineResult r = pipelineLoop(u, m, Strategy::BestOfAll,
+                                          opts);
+    ASSERT_TRUE(r.success);
+    // Two original iterations per unrolled iteration at (close to) the
+    // original rate of 1 cycle each.
+    EXPECT_LE(r.ii(), 3);
+    std::string why;
+    EXPECT_TRUE(equivalentToSequential(u, r.graph, m, r.sched,
+                                       r.alloc.rotAlloc, 20, &why))
+        << why;
+}
+
+TEST(Unroll, RejectsSpillArtifacts)
+{
+    Ddg g = buildPaperExampleLoop();
+    const NodeId ls =
+        g.addNode(Opcode::Load, "Ls", NodeOrigin::SpillLoad);
+    g.node(ls).spillRef.kind = SpillRef::Kind::ReloadStream;
+    g.node(ls).spillRef.value = 0;
+    EXPECT_THROW(unrollLoop(g, 2), PanicError);
+}
+
+} // namespace
+} // namespace swp

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Workload tests: suite generator determinism and distribution sanity,
+ * APSI analogue signatures, and .ddg round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/verify.hh"
+#include "liferange/lifetimes.hh"
+#include "sched/acyclic.hh"
+#include "sched/mii.hh"
+#include "support/diag.hh"
+#include "workload/ddgio.hh"
+#include "workload/paper_loops.hh"
+#include "workload/suitegen.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(SuiteGen, DeterministicAcrossRuns)
+{
+    SuiteParams params;
+    params.numLoops = 25;
+    const auto a = generateSuite(params);
+    const auto b = generateSuite(params);
+    ASSERT_EQ(a.size(), 25u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::ostringstream sa, sb;
+        writeDdg(sa, a[i]);
+        writeDdg(sb, b[i]);
+        EXPECT_EQ(sa.str(), sb.str()) << "loop " << i;
+        EXPECT_EQ(a[i].iterations, b[i].iterations);
+    }
+}
+
+TEST(SuiteGen, SingleLoopMatchesFullRun)
+{
+    SuiteParams params;
+    params.numLoops = 10;
+    const auto suite = generateSuite(params);
+    const SuiteLoop solo = generateSuiteLoop(params, 7);
+    std::ostringstream a, b;
+    writeDdg(a, suite[7]);
+    writeDdg(b, solo);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SuiteGen, AllLoopsAreWellFormedAndSchedulable)
+{
+    SuiteParams params;
+    params.numLoops = 60;
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        std::string why;
+        ASSERT_TRUE(verifyDdg(loop.graph, &why))
+            << loop.graph.name() << ": " << why;
+        EXPECT_GE(loop.graph.numNodes(), 4);
+        EXPECT_GE(loop.iterations, 1);
+        // Every value has a consumer (dead results get stores).
+        for (NodeId n = 0; n < loop.graph.numNodes(); ++n) {
+            if (producesValue(loop.graph.node(n).op)) {
+                EXPECT_GT(loop.graph.numValueUses(n), 0)
+                    << loop.graph.name() << " node " << n;
+            }
+        }
+        // MII is computable and the acyclic fallback always works.
+        const Machine m = Machine::p2l4();
+        EXPECT_GE(mii(loop.graph, m), 1);
+        const Schedule s = scheduleAcyclic(loop.graph, m);
+        std::string why2;
+        EXPECT_TRUE(validateSchedule(loop.graph, m, s, &why2)) << why2;
+    }
+}
+
+TEST(SuiteGen, ContainsHeavyAndNormalLoops)
+{
+    SuiteParams params;
+    params.numLoops = 300;
+    int heavy = 0;
+    long heavyIters = 0, totalIters = 0;
+    for (const SuiteLoop &loop : generateSuite(params)) {
+        // Heavy loops are recognizable by their distance-component
+        // register floor: sum of self-recurrence distances + invariants
+        // above 32.
+        long floor = loop.graph.numLiveInvariants();
+        for (EdgeId e = 0; e < loop.graph.numEdges(); ++e) {
+            const Edge &edge = loop.graph.edge(e);
+            if (edge.kind == DepKind::RegFlow && edge.distance > 0)
+                floor += edge.distance;
+        }
+        totalIters += loop.iterations;
+        if (floor > 32) {
+            ++heavy;
+            heavyIters += loop.iterations;
+        }
+    }
+    // ~3% of 300.
+    EXPECT_GE(heavy, 3);
+    EXPECT_LE(heavy, 30);
+    // They are disproportionately hot.
+    EXPECT_GT(double(heavyIters) / double(totalIters),
+              3.0 * double(heavy) / 300.0);
+}
+
+TEST(PaperLoops, Apsi47Signature)
+{
+    const Ddg g = buildApsi47Analogue();
+    std::string why;
+    ASSERT_TRUE(verifyDdg(g, &why)) << why;
+    // Sized for ResMII 7 on P2L4 like the paper's loop.
+    EXPECT_EQ(resMii(g, Machine::p2l4()), 7);
+    EXPECT_EQ(recMii(g, Machine::p2l4()), 1);
+}
+
+TEST(PaperLoops, Apsi50Signature)
+{
+    const Ddg g = buildApsi50Analogue();
+    std::string why;
+    ASSERT_TRUE(verifyDdg(g, &why)) << why;
+    // Distance components: 13 taps x distance 2.
+    long dist = 0;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        if (g.edge(e).kind == DepKind::RegFlow)
+            dist += g.edge(e).distance;
+    }
+    EXPECT_EQ(dist, 26);
+    EXPECT_EQ(g.numLiveInvariants(), 8);
+    // 26 + 8 > 32: the increase-II floor the paper describes.
+    EXPECT_GT(dist + g.numLiveInvariants(), 32);
+}
+
+TEST(DdgIo, RoundTripsTheExample)
+{
+    SuiteLoop loop;
+    loop.graph = buildApsi50Analogue();
+    loop.iterations = 123;
+    std::ostringstream out;
+    writeDdg(out, loop);
+
+    std::istringstream in(out.str());
+    const auto loops = parseDdgStream(in);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].graph.name(), "apsi50");
+    EXPECT_EQ(loops[0].iterations, 123);
+    EXPECT_EQ(loops[0].graph.numNodes(), loop.graph.numNodes());
+    EXPECT_EQ(loops[0].graph.numInvariants(),
+              loop.graph.numInvariants());
+
+    std::ostringstream out2;
+    writeDdg(out2, loops[0]);
+    EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(DdgIo, ParsesMultipleLoopsAndComments)
+{
+    const char *text =
+        "# a comment\n"
+        "loop one\n"
+        "node ld ld\n"
+        "node st st\n"
+        "edge ld st reg 0\n"
+        "end\n"
+        "loop two\n"
+        "iterations 5\n"
+        "node a add\n"
+        "node s st   # trailing comment\n"
+        "edge a a reg 1\n"
+        "edge a s reg 0\n"
+        "end\n";
+    std::istringstream in(text);
+    const auto loops = parseDdgStream(in);
+    ASSERT_EQ(loops.size(), 2u);
+    EXPECT_EQ(loops[0].graph.numNodes(), 2);
+    EXPECT_EQ(loops[1].iterations, 5);
+}
+
+TEST(DdgIo, RejectsMalformedInput)
+{
+    auto parse = [](const char *text) {
+        std::istringstream in(text);
+        return parseDdgStream(in);
+    };
+    EXPECT_THROW(parse("node x ld\n"), FatalError);       // No loop.
+    EXPECT_THROW(parse("loop a\nloop b\n"), FatalError);  // Nested.
+    EXPECT_THROW(parse("loop a\nnode x bogus\nend\n"), FatalError);
+    EXPECT_THROW(parse("loop a\nedge p q reg 0\nend\n"), FatalError);
+    EXPECT_THROW(parse("loop a\n"), FatalError);          // Unterminated.
+    EXPECT_THROW(parse("loop a\nnode x ld\nnode x ld\nend\n"),
+                 FatalError);                             // Duplicate.
+}
+
+} // namespace
+} // namespace swp
