@@ -77,6 +77,7 @@ runAblation(benchmark::State &state)
                      "MaxLive bound over " << suite.size()
                   << " unconstrained schedules (P2L4)\n";
         strat.print(std::cout);
+        recordTable("packing_vs_maxlive", strat);
 
         // MVE vs rotating.
         long rotTotal = 0, mveTotal = 0, mveWorse = 0;
@@ -97,6 +98,10 @@ runAblation(benchmark::State &state)
             rotTotal, mveTotal,
             100.0 * double(mveTotal - rotTotal) / double(rotTotal),
             mveWorse, maxGap);
+        recordMetric("rotating_regs_total", double(rotTotal));
+        recordMetric("mve_regs_total", double(mveTotal));
+        recordMetric("mve_worse_loops", double(mveWorse));
+        recordMetric("mve_worst_gap", double(maxGap));
     }
 }
 
@@ -104,4 +109,4 @@ BENCHMARK(runAblation)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("ablation_allocator");

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
 #include "common.hh"
@@ -61,7 +62,9 @@ runAblation(benchmark::State &state)
 {
     // A subset keeps the no-fusion (pathological) cells affordable.
     const auto &full = evaluationSuite();
-    const std::vector<SuiteLoop> suite(full.begin(), full.begin() + 400);
+    const std::vector<SuiteLoop> suite(
+        full.begin(),
+        full.begin() + std::min<std::ptrdiff_t>(400, full.size()));
     const Machine m = Machine::p2l4();
 
     for (auto _ : state) {
@@ -82,11 +85,13 @@ runAblation(benchmark::State &state)
             }
         }
         std::cout << "\nAblation: complex-operation fusion "
-                     "(P2L4, 32 registers, 400-loop subset)\n";
+                     "(P2L4, 32 registers, " << suite.size()
+                  << "-loop subset)\n";
         table.print(std::cout);
         std::cout << "expected: without fusion, convergence drops and "
                      "rounds/spills inflate, especially under the "
                      "register-insensitive scheduler (IMS).\n";
+        recordTable("fusion", table);
     }
 }
 
@@ -94,4 +99,4 @@ BENCHMARK(runAblation)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("ablation_fusion");

@@ -82,6 +82,7 @@ runAblation(benchmark::State &state)
         std::cout << "\nAblation: scheduler register sensitivity ("
                   << counted << " loops, P2L4, unconstrained)\n";
         table.print(std::cout);
+        recordTable("register_sensitivity", table);
 
         // End-to-end: constrained pipelining under each scheduler.
         Table end({"scheduler", "regs", "cycles(1e9)", "spills",
@@ -118,6 +119,7 @@ runAblation(benchmark::State &state)
         std::cout << "expected: IMS needs more spills (its lifetimes "
                      "are longer), confirming why the paper builds on "
                      "a register-sensitive scheduler.\n";
+        recordTable("end_to_end", end);
     }
 }
 
@@ -125,4 +127,4 @@ BENCHMARK(runAblation)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("ablation_scheduler");

@@ -81,6 +81,9 @@ runAblation(benchmark::State &state)
             }
         }
         table.print(std::cout);
+        recordTable("granularity", table);
+        recordMetric("suite_values", double(values));
+        recordMetric("suite_multi_use_values", double(multiUse));
     }
 }
 
@@ -88,4 +91,4 @@ BENCHMARK(runAblation)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("ablation_spill_uses");

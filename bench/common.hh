@@ -15,15 +15,56 @@
 #ifndef SWP_BENCH_COMMON_HH
 #define SWP_BENCH_COMMON_HH
 
+#include <benchmark/benchmark.h>
+
 #include <string>
 #include <vector>
 
 #include "machine/machine.hh"
 #include "pipeliner/pipeliner.hh"
+#include "support/table.hh"
 #include "workload/suitegen.hh"
 
 namespace swp::benchutil
 {
+
+/**
+ * Harness-level options, parsed from argv before google-benchmark sees
+ * it. Every harness accepts:
+ *
+ *   --json <path>   write machine-readable results to <path>
+ *   --seed <n>      override the suite generator seed (default pinned
+ *                   to kDefaultSuiteSeed for reproducibility)
+ *   --loops <n>     generate an <n>-loop suite (default 1258)
+ */
+struct BenchOptions
+{
+    SuiteParams suite;
+    std::string jsonPath;
+
+    /** google-benchmark's own JSON reporter writes jsonPath itself
+        (adaptive micro-benchmarks) instead of the table recorder. */
+    bool nativeJson = false;
+};
+
+/** The process-wide options (mutated once by initBenchArgs). */
+BenchOptions &benchOptions();
+
+/**
+ * Strip the swp flags from argv. Call before benchmark::Initialize;
+ * with nativeJson, --json is forwarded as google-benchmark's
+ * --benchmark_out so the adaptive timing results land in the file.
+ */
+void initBenchArgs(int *argc, char ***argv, bool nativeJson = false);
+
+/** Queue a finished table for --json emission. */
+void recordTable(const std::string &name, const Table &table);
+
+/** Queue a scalar result for --json emission. */
+void recordMetric(const std::string &name, double value);
+
+/** Write everything recorded to --json <path> (no-op without --json). */
+void writeBenchJson(const std::string &benchName);
 
 /** The evaluation variants of Figure 8 plus the Section 3/5 baselines. */
 enum class Variant
@@ -65,5 +106,29 @@ std::vector<Machine> evaluationMachines();
 const std::vector<SuiteLoop> &evaluationSuite();
 
 } // namespace swp::benchutil
+
+/**
+ * Harness entry point: BENCHMARK_MAIN plus the swp flag layer and the
+ * --json emission. benchName labels the output document.
+ */
+#define SWP_BENCH_MAIN_IMPL(benchName, nativeJson)                      \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        swp::benchutil::initBenchArgs(&argc, &argv, nativeJson);        \
+        ::benchmark::Initialize(&argc, argv);                           \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))       \
+            return 1;                                                   \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        ::benchmark::Shutdown();                                        \
+        swp::benchutil::writeBenchJson(benchName);                      \
+        return 0;                                                       \
+    }
+
+#define SWP_BENCH_MAIN(benchName) SWP_BENCH_MAIN_IMPL(benchName, false)
+
+/** For harnesses whose results come from google-benchmark's adaptive
+    timing rather than recorded tables. */
+#define SWP_BENCH_MAIN_NATIVE_JSON(benchName)                           \
+    SWP_BENCH_MAIN_IMPL(benchName, true)
 
 #endif // SWP_BENCH_COMMON_HH

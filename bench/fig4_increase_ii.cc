@@ -61,6 +61,7 @@ runFig4(benchmark::State &state)
         sweep(buildApsi47Analogue(), m, 60, table);
         sweep(buildApsi50Analogue(), m, 60, table);
         table.print(std::cout);
+        benchutil::recordTable("registers_vs_ii", table);
     }
 }
 
@@ -68,4 +69,4 @@ BENCHMARK(runFig4)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("fig4_increase_ii");

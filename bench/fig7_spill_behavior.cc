@@ -67,6 +67,7 @@ runFig7(benchmark::State &state)
         traceSpilling(buildApsi50Analogue(), m, 32, table);
         traceSpilling(buildApsi50Analogue(), m, 16, table);
         table.print(std::cout);
+        benchutil::recordTable("spill_rounds", table);
     }
 }
 
@@ -74,4 +75,4 @@ BENCHMARK(runFig7)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("fig7_spill_behavior");

@@ -61,6 +61,7 @@ runFig8(benchmark::State &state)
         std::cout << "\nFigure 8: spilling heuristics over the "
                   << suite.size() << "-loop suite\n";
         table.print(std::cout);
+        recordTable("heuristics", table);
     }
 }
 
@@ -68,4 +69,4 @@ BENCHMARK(runFig8)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("fig8_heuristics");

@@ -74,6 +74,7 @@ runFig9(benchmark::State &state)
         std::cout << "\nFigure 9: increase-II vs spill vs best-of-all "
                      "(converging subset only)\n";
         table.print(std::cout);
+        recordTable("strategies", table);
     }
 }
 
@@ -81,4 +82,4 @@ BENCHMARK(runFig9)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("fig9_ii_vs_spill");

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
 #include "liferange/lifetimes.hh"
 #include "pipeliner/pipeliner.hh"
 #include "regalloc/rotalloc.hh"
@@ -28,7 +29,7 @@ using namespace swp;
 const SuiteLoop &
 loopOfSize(int target)
 {
-    static std::vector<SuiteLoop> suite = generateSuite();
+    const std::vector<SuiteLoop> &suite = benchutil::evaluationSuite();
     static std::map<int, const SuiteLoop *> cache;
     const auto it = cache.find(target);
     if (it != cache.end())
@@ -126,4 +127,4 @@ BENCHMARK(BM_Simulator)->Arg(16)->Arg(64)->Arg(256);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN_NATIVE_JSON("micro_components");

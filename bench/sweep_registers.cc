@@ -54,6 +54,8 @@ runSweep(benchmark::State &state)
         std::cout << "\nRegister-file sweep (P2L4, ideal = "
                   << ideal.cycles / 1e9 << "e9 cycles)\n";
         table.print(std::cout);
+        recordTable("register_sweep", table);
+        recordMetric("ideal_cycles", ideal.cycles);
     }
 }
 
@@ -61,4 +63,4 @@ BENCHMARK(runSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("sweep_registers");

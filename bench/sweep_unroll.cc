@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
 #include "common.hh"
@@ -66,15 +67,17 @@ runSweep(benchmark::State &state)
         std::cout << "\nUnroll sweep on the case-study loops "
                      "(P2L4, 32 registers)\n";
         table.print(std::cout);
+        recordTable("case_study", table);
 
         // Aggregate over a suite subset.
+        const std::size_t subset = std::min<std::size_t>(200, full.size());
         Table agg({"unroll", "cycles/orig-iter (sum)", "spills",
                    "unfit"});
         for (const int factor : {1, 2, 3}) {
             double perIter = 0;
             long spills = 0;
             int unfit = 0;
-            for (std::size_t i = 0; i < 200; ++i) {
+            for (std::size_t i = 0; i < subset; ++i) {
                 const Ddg u = unrollLoop(full[i].graph, factor);
                 PipelinerOptions opts;
                 opts.registers = 32;
@@ -92,9 +95,10 @@ runSweep(benchmark::State &state)
                 .add(spills)
                 .add(unfit);
         }
-        std::cout << "\nUnroll sweep over 200 suite loops "
-                     "(P2L4, 32 registers)\n";
+        std::cout << "\nUnroll sweep over " << subset
+                  << " suite loops (P2L4, 32 registers)\n";
         agg.print(std::cout);
+        recordTable("suite_subset", agg);
     }
 }
 
@@ -102,4 +106,4 @@ BENCHMARK(runSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("sweep_unroll");

@@ -77,6 +77,11 @@ runTable1(benchmark::State &state)
                   << failing32.size() << ", @64: " << failing64.size()
                   << " (paper: the same loops fail regardless of "
                      "configuration)\n";
+        recordTable("convergence", table);
+        recordMetric("distinct_failing_loops_32",
+                     double(failing32.size()));
+        recordMetric("distinct_failing_loops_64",
+                     double(failing64.size()));
     }
 }
 
@@ -84,4 +89,4 @@ BENCHMARK(runTable1)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SWP_BENCH_MAIN("table1_convergence");

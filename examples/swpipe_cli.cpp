@@ -24,6 +24,9 @@
  *   --csv                         one CSV row per loop
  *   --example                     use the paper's Figure 2 loop
  *   --apsi                        use the APSI 47/50 analogues
+ *   --suite N                     use the first N generated suite loops
+ *   --seed S                      suite generator seed (default: the
+ *                                 pinned kDefaultSuiteSeed)
  */
 
 #include <cstdlib>
@@ -37,8 +40,10 @@
 #include "sched/mii.hh"
 #include "sim/vliw.hh"
 #include "support/diag.hh"
+#include "support/strutil.hh"
 #include "workload/ddgio.hh"
 #include "workload/paper_loops.hh"
+#include "workload/suitegen.hh"
 
 namespace
 {
@@ -80,6 +85,9 @@ parseArgs(int argc, char **argv)
     CliOptions opts;
     opts.pipeline.multiSelect = true;
     opts.pipeline.reuseLastIi = true;
+    SuiteParams suiteParams;
+    int suiteCount = 0;
+    bool seedSet = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -146,6 +154,15 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(arg, "--apsi")) {
             opts.loops.push_back({buildApsi47Analogue(), 1000});
             opts.loops.push_back({buildApsi50Analogue(), 1000});
+        } else if (!std::strcmp(arg, "--suite")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 1, 1000000, suiteCount))
+                usageError(std::string("bad --suite count ") + text);
+        } else if (!std::strcmp(arg, "--seed")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseUint64(text, suiteParams.seed))
+                usageError(std::string("bad --seed value ") + text);
+            seedSet = true;
         } else if (arg[0] == '-') {
             usageError(std::string("unknown option ") + arg);
         } else {
@@ -153,6 +170,10 @@ parseArgs(int argc, char **argv)
                 opts.loops.push_back(std::move(loop));
         }
     }
+    if (seedSet && suiteCount == 0)
+        usageError("--seed only applies to --suite loops");
+    for (int i = 0; i < suiteCount; ++i)
+        opts.loops.push_back(generateSuiteLoop(suiteParams, i));
     if (opts.loops.empty())
         opts.loops.push_back({buildPaperExampleLoop(), 100});
     return opts;

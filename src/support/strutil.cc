@@ -1,6 +1,7 @@
 #include "support/strutil.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +76,37 @@ parseLong(const std::string &s)
     if (end == t.c_str() || *end != '\0')
         SWP_FATAL("expected integer, got '", t, "'");
     return v;
+}
+
+bool
+parseUint64(const std::string &s, std::uint64_t &out)
+{
+    // strtoull skips whitespace and silently wraps negative input, so
+    // insist the string starts with a digit (which also covers "0x...").
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseIntInRange(const std::string &s, int lo, int hi, int &out)
+{
+    if (s.empty() ||
+        (s[0] != '-' && !std::isdigit(static_cast<unsigned char>(s[0]))))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE || v < lo || v > hi)
+        return false;
+    out = int(v);
+    return true;
 }
 
 std::string

@@ -6,6 +6,7 @@
 #ifndef SWP_SUPPORT_STRUTIL_HH
 #define SWP_SUPPORT_STRUTIL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,16 @@ bool startsWith(const std::string &s, const std::string &prefix);
 
 /** Parse a non-negative integer; throws FatalError on garbage. */
 long parseLong(const std::string &s);
+
+/**
+ * Parse a 64-bit unsigned value (decimal, or hex/octal with the usual
+ * prefixes). Rejects empty input, sign characters, trailing garbage,
+ * and overflow. Returns false without touching out on failure.
+ */
+bool parseUint64(const std::string &s, std::uint64_t &out);
+
+/** Parse a base-10 integer in [lo, hi]; false (out untouched) otherwise. */
+bool parseIntInRange(const std::string &s, int lo, int hi, int &out);
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)

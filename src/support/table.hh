@@ -40,6 +40,15 @@ class Table
     /** Number of data rows so far. */
     std::size_t numRows() const { return rows_.size(); }
 
+    /** Column headers (for machine-readable re-serialization). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Formatted cells, row-major (for machine-readable re-serialization). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render as aligned ASCII with a rule under the header. */
     void print(std::ostream &os) const;
 
