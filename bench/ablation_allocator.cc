@@ -37,12 +37,16 @@ runAblation(benchmark::State &state)
     for (auto _ : state) {
         // Schedule everything once (unconstrained) and collect
         // lifetimes.
-        std::vector<LifetimeInfo> infos;
-        auto hrms = makeScheduler(SchedulerKind::Hrms);
-        for (const SuiteLoop &loop : suite) {
-            const PipelineResult r = pipelineIdeal(loop.graph, m);
-            infos.push_back(analyzeLifetimes(loop.graph, r.sched));
-        }
+        SuiteRunner &runner = suiteRunner();
+        std::vector<BatchJob> jobs;
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            jobs.push_back(variantJob(int(i), Variant::Ideal, 0));
+        const auto results = runner.run(suite, m, jobs);
+
+        std::vector<LifetimeInfo> infos(suite.size());
+        runner.parallelFor(suite.size(), [&](std::size_t i) {
+            infos[i] = analyzeLifetimes(suite[i].graph, results[i].sched);
+        });
 
         Table strat({"strategy", "ordering", "= MaxLive", "+1", "+2",
                      ">+2", "total extra regs"});

@@ -38,19 +38,23 @@ Cell
 run(const std::vector<SuiteLoop> &suite, const Machine &m,
     SchedulerKind kind, bool fuse, int registers)
 {
+    BatchJob proto;
+    proto.strategy = Strategy::Spill;
+    proto.options.registers = registers;
+    proto.options.scheduler = kind;
+    proto.options.multiSelect = true;
+    proto.options.reuseLastIi = true;
+    proto.options.fuseSpillOps = fuse;
+    proto.options.maxSpillRounds = 48;  // Bound the divergent cases.
+
+    const auto results =
+        suiteRunner().run(suite, m, protoJobs(suite.size(), proto));
+
     Cell cell;
-    for (const SuiteLoop &loop : suite) {
-        PipelinerOptions opts;
-        opts.registers = registers;
-        opts.scheduler = kind;
-        opts.multiSelect = true;
-        opts.reuseLastIi = true;
-        opts.fuseSpillOps = fuse;
-        opts.maxSpillRounds = 48;  // Bound the divergent cases.
-        const PipelineResult r =
-            pipelineLoop(loop.graph, m, Strategy::Spill, opts);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const PipelineResult &r = results[i];
         cell.converged += r.success && !r.usedFallback;
-        cell.cycles += double(r.ii()) * double(loop.iterations);
+        cell.cycles += double(r.ii()) * double(suite[i].iterations);
         cell.rounds += r.rounds;
         cell.spills += r.spilledLifetimes;
     }

@@ -32,34 +32,55 @@ runAblation(benchmark::State &state)
     const Machine m = Machine::p2l4();
 
     for (auto _ : state) {
-        long iiHrms = 0, iiIms = 0, atMiiHrms = 0, atMiiIms = 0;
-        long mlHrms = 0, mlIms = 0, mlImsStaged = 0;
-        int counted = 0;
+        SuiteRunner &runner = suiteRunner();
 
-        auto hrms = makeScheduler(SchedulerKind::Hrms);
-        auto ims = makeScheduler(SchedulerKind::Ims);
-        for (const SuiteLoop &loop : suite) {
-            const int lower = mii(loop.graph, m);
+        // Per-loop raw scheduler comparison, evaluated across the pool
+        // into per-index slots and reduced serially below.
+        struct Record
+        {
+            bool counted = false;
+            int iiHrms = 0, iiIms = 0;
+            bool hrmsAtMii = false, imsAtMii = false;
+            int mlHrms = 0, mlIms = 0, mlImsStaged = 0;
+        };
+        std::vector<Record> records(suite.size());
+        runner.parallelFor(suite.size(), [&](std::size_t i) {
+            const SuiteLoop &loop = suite[i];
+            const int lower = runner.bounds(loop.graph, m).mii;
+            auto hrms = makeScheduler(SchedulerKind::Hrms);
+            auto ims = makeScheduler(SchedulerKind::Ims);
             const IiSearchResult rh =
                 searchIi(*hrms, loop.graph, m, lower);
             const IiSearchResult ri =
                 searchIi(*ims, loop.graph, m, lower);
             if (!rh.sched || !ri.sched)
+                return;
+            Record &rec = records[i];
+            rec.counted = true;
+            rec.iiHrms = rh.sched->ii();
+            rec.iiIms = ri.sched->ii();
+            rec.hrmsAtMii = rh.sched->ii() == lower;
+            rec.imsAtMii = ri.sched->ii() == lower;
+            rec.mlHrms = analyzeLifetimes(loop.graph, *rh.sched).maxLive;
+            rec.mlIms = analyzeLifetimes(loop.graph, *ri.sched).maxLive;
+            rec.mlImsStaged =
+                stageSchedule(loop.graph, m, *ri.sched).maxLiveAfter;
+        });
+
+        long iiHrms = 0, iiIms = 0, atMiiHrms = 0, atMiiIms = 0;
+        long mlHrms = 0, mlIms = 0, mlImsStaged = 0;
+        int counted = 0;
+        for (const Record &rec : records) {
+            if (!rec.counted)
                 continue;
             ++counted;
-            iiHrms += rh.sched->ii();
-            iiIms += ri.sched->ii();
-            atMiiHrms += rh.sched->ii() == lower;
-            atMiiIms += ri.sched->ii() == lower;
-
-            const LifetimeInfo ih =
-                analyzeLifetimes(loop.graph, *rh.sched);
-            const LifetimeInfo ii2 =
-                analyzeLifetimes(loop.graph, *ri.sched);
-            mlHrms += ih.maxLive;
-            mlIms += ii2.maxLive;
-            mlImsStaged +=
-                stageSchedule(loop.graph, m, *ri.sched).maxLiveAfter;
+            iiHrms += rec.iiHrms;
+            iiIms += rec.iiIms;
+            atMiiHrms += rec.hrmsAtMii;
+            atMiiIms += rec.imsAtMii;
+            mlHrms += rec.mlHrms;
+            mlIms += rec.mlIms;
+            mlImsStaged += rec.mlImsStaged;
         }
 
         Table table({"metric", "HRMS", "IMS", "IMS+stage-sched"});
@@ -90,18 +111,21 @@ runAblation(benchmark::State &state)
         for (const SchedulerKind kind :
              {SchedulerKind::Hrms, SchedulerKind::Ims}) {
             for (const int registers : {64, 32}) {
+                BatchJob proto;
+                proto.strategy = Strategy::Spill;
+                proto.options.registers = registers;
+                proto.options.scheduler = kind;
+                proto.options.multiSelect = true;
+                proto.options.reuseLastIi = true;
+                const auto results =
+                    runner.run(suite, m, protoJobs(suite.size(), proto));
+
                 double cycles = 0;
                 long spills = 0;
                 int unfit = 0;
-                for (const SuiteLoop &loop : suite) {
-                    PipelinerOptions opts;
-                    opts.registers = registers;
-                    opts.scheduler = kind;
-                    opts.multiSelect = true;
-                    opts.reuseLastIi = true;
-                    const PipelineResult r = pipelineLoop(
-                        loop.graph, m, Strategy::Spill, opts);
-                    cycles += double(r.ii()) * double(loop.iterations);
+                for (std::size_t i = 0; i < suite.size(); ++i) {
+                    const PipelineResult &r = results[i];
+                    cycles += double(r.ii()) * double(suite[i].iterations);
                     spills += r.spilledLifetimes;
                     unfit += !r.success;
                 }

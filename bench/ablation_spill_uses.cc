@@ -51,21 +51,24 @@ runAblation(benchmark::State &state)
         for (const Machine &m : evaluationMachines()) {
             for (const int registers : {32, 16}) {
                 for (const bool uses : {false, true}) {
+                    BatchJob proto;
+                    proto.strategy = Strategy::Spill;
+                    proto.options.registers = registers;
+                    proto.options.multiSelect = true;
+                    proto.options.reuseLastIi = true;
+                    proto.options.spillUses = uses;
+                    const auto results = suiteRunner().run(
+                        suite, m, protoJobs(suite.size(), proto));
+
                     double cycles = 0, refs = 0;
                     long spills = 0;
                     int unfit = 0;
-                    for (const SuiteLoop &loop : suite) {
-                        PipelinerOptions opts;
-                        opts.registers = registers;
-                        opts.multiSelect = true;
-                        opts.reuseLastIi = true;
-                        opts.spillUses = uses;
-                        const PipelineResult r = pipelineLoop(
-                            loop.graph, m, Strategy::Spill, opts);
+                    for (std::size_t i = 0; i < suite.size(); ++i) {
+                        const PipelineResult &r = results[i];
                         cycles +=
-                            double(r.ii()) * double(loop.iterations);
+                            double(r.ii()) * double(suite[i].iterations);
                         refs += double(r.memOpsPerIteration()) *
-                                double(loop.iterations);
+                                double(suite[i].iterations);
                         spills += r.spilledLifetimes;
                         unfit += !r.success;
                     }

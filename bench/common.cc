@@ -144,58 +144,100 @@ variantName(Variant v)
     SWP_PANIC("unknown variant ", int(v));
 }
 
+BatchJob
+variantJob(int loopIndex, Variant v, int registers)
+{
+    BatchJob job;
+    job.loop = loopIndex;
+    job.options.registers = registers;
+    switch (v) {
+      case Variant::Ideal:
+        job.ideal = true;
+        return job;
+      case Variant::MaxLt:
+        job.strategy = Strategy::Spill;
+        job.options.heuristic = SpillHeuristic::MaxLT;
+        return job;
+      case Variant::MaxLtTraf:
+        job.strategy = Strategy::Spill;
+        job.options.heuristic = SpillHeuristic::MaxLTOverTraf;
+        return job;
+      case Variant::MaxLtTrafMulti:
+        job.strategy = Strategy::Spill;
+        job.options.heuristic = SpillHeuristic::MaxLTOverTraf;
+        job.options.multiSelect = true;
+        return job;
+      case Variant::MaxLtTrafMultiLastIi:
+        job.strategy = Strategy::Spill;
+        job.options.heuristic = SpillHeuristic::MaxLTOverTraf;
+        job.options.multiSelect = true;
+        job.options.reuseLastIi = true;
+        return job;
+      case Variant::IncreaseIi:
+        job.strategy = Strategy::IncreaseII;
+        return job;
+      case Variant::BestOfAll:
+        job.strategy = Strategy::BestOfAll;
+        job.options.heuristic = SpillHeuristic::MaxLTOverTraf;
+        job.options.multiSelect = true;
+        job.options.reuseLastIi = true;
+        return job;
+    }
+    SWP_PANIC("unknown variant ", int(v));
+}
+
 PipelineResult
 runVariant(const Ddg &g, const Machine &m, int registers, Variant v)
 {
-    PipelinerOptions opts;
-    opts.registers = registers;
-    switch (v) {
-      case Variant::Ideal:
-        return pipelineIdeal(g, m);
-      case Variant::MaxLt:
-        opts.heuristic = SpillHeuristic::MaxLT;
-        return pipelineLoop(g, m, Strategy::Spill, opts);
-      case Variant::MaxLtTraf:
-        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
-        return pipelineLoop(g, m, Strategy::Spill, opts);
-      case Variant::MaxLtTrafMulti:
-        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
-        opts.multiSelect = true;
-        return pipelineLoop(g, m, Strategy::Spill, opts);
-      case Variant::MaxLtTrafMultiLastIi:
-        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
-        opts.multiSelect = true;
-        opts.reuseLastIi = true;
-        return pipelineLoop(g, m, Strategy::Spill, opts);
-      case Variant::IncreaseIi:
-        return pipelineLoop(g, m, Strategy::IncreaseII, opts);
-      case Variant::BestOfAll:
-        opts.heuristic = SpillHeuristic::MaxLTOverTraf;
-        opts.multiSelect = true;
-        opts.reuseLastIi = true;
-        return pipelineLoop(g, m, Strategy::BestOfAll, opts);
-    }
-    SWP_PANIC("unknown variant ", int(v));
+    const BatchJob job = variantJob(0, v, registers);
+    return job.ideal
+               ? pipelineIdeal(g, m, job.options.scheduler)
+               : pipelineLoop(g, m, job.strategy, job.options);
+}
+
+std::vector<BatchJob>
+protoJobs(std::size_t n, const BatchJob &proto)
+{
+    std::vector<BatchJob> jobs(n, proto);
+    for (std::size_t i = 0; i < n; ++i)
+        jobs[i].loop = int(i);
+    return jobs;
+}
+
+SuiteRunner &
+suiteRunner()
+{
+    static SuiteRunner runner(benchOptions().threads);
+    return runner;
 }
 
 SuiteTotals
 runSuite(const std::vector<SuiteLoop> &suite, const Machine &m,
          int registers, Variant v)
 {
+    std::vector<BatchJob> jobs;
+    jobs.reserve(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        jobs.push_back(variantJob(int(i), v, registers));
+
     SuiteTotals totals;
     Stopwatch sw;
-    for (const SuiteLoop &loop : suite) {
-        const PipelineResult r =
-            runVariant(loop.graph, m, registers, v);
-        totals.cycles += double(r.ii()) * double(loop.iterations);
+    const std::vector<PipelineResult> results =
+        suiteRunner().run(suite, m, jobs);
+    totals.seconds = sw.seconds();
+
+    // Serial accumulation in loop order keeps the floating-point sums
+    // (and thus the emitted JSON) bit-identical at any thread count.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const PipelineResult &r = results[i];
+        totals.cycles += double(r.ii()) * double(suite[i].iterations);
         totals.memRefs += double(r.memOpsPerIteration()) *
-                          double(loop.iterations);
+                          double(suite[i].iterations);
         totals.attempts += r.attempts;
         totals.unfit += !r.success;
         totals.fallbacks += r.usedFallback;
         totals.spills += r.spilledLifetimes;
     }
-    totals.seconds = sw.seconds();
     return totals;
 }
 
@@ -249,6 +291,10 @@ initBenchArgs(int *argc, char ***argv, bool nativeJson)
             const char *text = next(i, arg);
             if (!parseIntInRange(text, 1, 1000000, opts.suite.numLoops))
                 flagError(std::string("bad --loops count ") + text);
+        } else if (!std::strcmp(arg, "--threads")) {
+            const char *text = next(i, arg);
+            if (!parseIntInRange(text, 0, 4096, opts.threads))
+                flagError(std::string("bad --threads count ") + text);
         } else {
             keep.push_back(arg);
         }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/suite_runner.hh"
 #include "machine/machine.hh"
 #include "pipeliner/pipeliner.hh"
 #include "support/table.hh"
@@ -32,15 +33,19 @@ namespace swp::benchutil
  * Harness-level options, parsed from argv before google-benchmark sees
  * it. Every harness accepts:
  *
- *   --json <path>   write machine-readable results to <path>
- *   --seed <n>      override the suite generator seed (default pinned
- *                   to kDefaultSuiteSeed for reproducibility)
- *   --loops <n>     generate an <n>-loop suite (default 1258)
+ *   --json <path>    write machine-readable results to <path>
+ *   --seed <n>       override the suite generator seed (default pinned
+ *                    to kDefaultSuiteSeed for reproducibility)
+ *   --loops <n>      generate an <n>-loop suite (default 1258)
+ *   --threads <n>    evaluation worker threads (default 1; 0 = all
+ *                    hardware threads). Results are deterministic:
+ *                    output is byte-identical at any thread count.
  */
 struct BenchOptions
 {
     SuiteParams suite;
     std::string jsonPath;
+    int threads = 1;
 
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */
@@ -83,6 +88,19 @@ const char *variantName(Variant v);
 /** Run one variant on one loop. */
 PipelineResult runVariant(const Ddg &g, const Machine &m, int registers,
                           Variant v);
+
+/** The grid job evaluating one variant on one suite loop. */
+BatchJob variantJob(int loopIndex, Variant v, int registers);
+
+/** n copies of a prototype job, targeting loops 0..n-1 in order. */
+std::vector<BatchJob> protoJobs(std::size_t n, const BatchJob &proto);
+
+/**
+ * The process-wide batch runner, built from --threads on first use.
+ * All harness grids funnel through it so the whole experiment shares
+ * one evaluation path (and one MII/RecMII memo).
+ */
+SuiteRunner &suiteRunner();
 
 /** Whole-suite totals for one (machine, registers, variant) cell. */
 struct SuiteTotals

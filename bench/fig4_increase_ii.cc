@@ -29,10 +29,19 @@ void
 sweep(const Ddg &g, const Machine &m, int max_extra, Table &table)
 {
     PipelinerOptions opts;
-    const int lower = mii(g, m);
+    const int lower = benchutil::suiteRunner().bounds(g, m).mii;
+
+    // Every II point is independent; sweep them across the pool and
+    // emit the rows serially so the table is thread-count invariant.
+    std::vector<int> regsAt(std::size_t(max_extra) + 1, -1);
+    benchutil::suiteRunner().parallelFor(
+        regsAt.size(), [&](std::size_t k) {
+            regsAt[k] = registersAtIi(g, m, lower + int(k), opts);
+        });
+
     int reached32 = -1, reached16 = -1, plateau = -1;
     for (int ii = lower; ii <= lower + max_extra; ++ii) {
-        const int regs = registersAtIi(g, m, ii, opts);
+        const int regs = regsAt[std::size_t(ii - lower)];
         if (regs < 0)
             continue;
         table.row().add(g.name()).add(ii).add(regs);

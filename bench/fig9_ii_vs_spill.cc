@@ -27,6 +27,7 @@ void
 runFig9(benchmark::State &state)
 {
     const auto &suite = evaluationSuite();
+    SuiteRunner &runner = suiteRunner();
 
     for (auto _ : state) {
         Table table({"config", "regs", "subset", "increase-II(1e9)",
@@ -34,31 +35,57 @@ runFig9(benchmark::State &state)
                      "spill-wins", "incII-wins"});
         for (const int registers : {64, 32}) {
             for (const Machine &m : evaluationMachines()) {
+                // Stage 1: increase-II over the whole suite; the subset
+                // is the loops that needed a reduction (rounds > 1
+                // means the first II failed the budget) and converged.
+                std::vector<BatchJob> incrJobs;
+                for (std::size_t i = 0; i < suite.size(); ++i)
+                    incrJobs.push_back(variantJob(
+                        int(i), Variant::IncreaseIi, registers));
+                const auto incr = runner.run(suite, m, incrJobs);
+
+                std::vector<int> candidates;
+                for (std::size_t i = 0; i < suite.size(); ++i) {
+                    const PipelineResult &r = incr[i];
+                    if (!r.usedFallback && r.success && r.rounds > 1)
+                        candidates.push_back(int(i));
+                }
+
+                // Stage 2: spilling on the candidate subset.
+                std::vector<BatchJob> spillJobs;
+                for (const int i : candidates)
+                    spillJobs.push_back(variantJob(
+                        i, Variant::MaxLtTrafMultiLastIi, registers));
+                const auto spills = runner.run(suite, m, spillJobs);
+
+                // Stage 3: best-of-all where spilling also converged.
+                std::vector<int> members;
+                std::vector<BatchJob> bestJobs;
+                for (std::size_t k = 0; k < candidates.size(); ++k) {
+                    if (!spills[k].success)
+                        continue;
+                    members.push_back(int(k));
+                    bestJobs.push_back(variantJob(
+                        candidates[k], Variant::BestOfAll, registers));
+                }
+                const auto bests = runner.run(suite, m, bestJobs);
+
                 double cyclesIi = 0, cyclesSpill = 0, cyclesBest = 0;
                 int subset = 0, spillWins = 0, iiWins = 0;
-                for (const SuiteLoop &loop : suite) {
-                    const PipelineResult incr = runVariant(
-                        loop.graph, m, registers, Variant::IncreaseIi);
-                    // Subset: needed a reduction (rounds > 1 means the
-                    // first II failed the budget) and converged.
-                    if (incr.usedFallback || !incr.success ||
-                        incr.rounds <= 1) {
-                        continue;
-                    }
-                    const PipelineResult spill = runVariant(
-                        loop.graph, m, registers,
-                        Variant::MaxLtTrafMultiLastIi);
-                    if (!spill.success)
-                        continue;
-                    const PipelineResult best = runVariant(
-                        loop.graph, m, registers, Variant::BestOfAll);
+                for (std::size_t j = 0; j < members.size(); ++j) {
+                    const int k = members[j];
+                    const int loopIdx = candidates[std::size_t(k)];
+                    const PipelineResult &ri = incr[std::size_t(loopIdx)];
+                    const PipelineResult &rs = spills[std::size_t(k)];
+                    const PipelineResult &rb = bests[j];
                     ++subset;
-                    const double w = double(loop.iterations);
-                    cyclesIi += double(incr.ii()) * w;
-                    cyclesSpill += double(spill.ii()) * w;
-                    cyclesBest += double(best.ii()) * w;
-                    spillWins += spill.ii() < incr.ii();
-                    iiWins += incr.ii() < spill.ii();
+                    const double w =
+                        double(suite[std::size_t(loopIdx)].iterations);
+                    cyclesIi += double(ri.ii()) * w;
+                    cyclesSpill += double(rs.ii()) * w;
+                    cyclesBest += double(rb.ii()) * w;
+                    spillWins += rs.ii() < ri.ii();
+                    iiWins += ri.ii() < rs.ii();
                 }
                 table.row()
                     .add(m.name())

@@ -110,6 +110,27 @@ BM_ConstrainedPipeline(benchmark::State &state)
 BENCHMARK(BM_ConstrainedPipeline)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
 
 void
+BM_SuiteRunnerBatch(benchmark::State &state)
+{
+    // Whole-suite constrained pipelining through the shared batch
+    // driver; honours --threads, so this benchmark doubles as the
+    // wall-clock measurement of the worker-pool speedup.
+    const std::vector<SuiteLoop> &suite = benchutil::evaluationSuite();
+    const Machine m = Machine::p2l4();
+    SuiteRunner &runner = benchutil::suiteRunner();
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        jobs.push_back(benchutil::variantJob(
+            int(i), benchutil::Variant::MaxLtTrafMultiLastIi, 32));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(suite, m, jobs));
+    state.SetItemsProcessed(state.iterations() * long(jobs.size()));
+    state.SetLabel(std::to_string(runner.threads()) + " thread(s)");
+}
+BENCHMARK(BM_SuiteRunnerBatch)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void
 BM_Simulator(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(24);
@@ -119,7 +140,7 @@ BM_Simulator(benchmark::State &state)
     cfg.iterations = state.range(0);
     for (auto _ : state) {
         benchmark::DoNotOptimize(simulatePipelined(
-            r.graph, m, r.sched, r.alloc.rotAlloc, cfg));
+            r.graph(), m, r.sched, r.alloc.rotAlloc, cfg));
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }

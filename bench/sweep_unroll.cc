@@ -32,18 +32,28 @@ using namespace swp::benchutil;
 void
 sweepLoop(const Ddg &g, const Machine &m, int registers, Table &table)
 {
-    for (const int factor : {1, 2, 3, 4}) {
-        const Ddg u = unrollLoop(g, factor);
-        PipelinerOptions opts;
-        opts.registers = registers;
-        opts.multiSelect = true;
-        opts.reuseLastIi = true;
-        const PipelineResult r =
-            pipelineLoop(u, m, Strategy::Spill, opts);
+    const int factors[] = {1, 2, 3, 4};
+
+    // One suite entry per unroll factor, evaluated as one batch.
+    std::vector<SuiteLoop> unrolled;
+    for (const int factor : factors)
+        unrolled.push_back({unrollLoop(g, factor), 1});
+
+    BatchJob proto;
+    proto.strategy = Strategy::Spill;
+    proto.options.registers = registers;
+    proto.options.multiSelect = true;
+    proto.options.reuseLastIi = true;
+    const auto results = suiteRunner().run(
+        unrolled, m, protoJobs(unrolled.size(), proto));
+
+    for (std::size_t i = 0; i < unrolled.size(); ++i) {
+        const int factor = factors[i];
+        const PipelineResult &r = results[i];
         table.row()
             .add(g.name())
             .add(factor)
-            .add(mii(u, m))
+            .add(mii(unrolled[i].graph, m))
             .add(r.success ? (r.usedFallback ? "fallback" : "yes")
                            : "NO")
             .add(r.ii())
@@ -74,17 +84,26 @@ runSweep(benchmark::State &state)
         Table agg({"unroll", "cycles/orig-iter (sum)", "spills",
                    "unfit"});
         for (const int factor : {1, 2, 3}) {
+            std::vector<SuiteLoop> unrolled(subset);
+            benchutil::suiteRunner().parallelFor(
+                subset, [&](std::size_t i) {
+                    unrolled[i] = {unrollLoop(full[i].graph, factor),
+                                   full[i].iterations};
+                });
+
+            BatchJob proto;
+            proto.strategy = Strategy::Spill;
+            proto.options.registers = 32;
+            proto.options.multiSelect = true;
+            proto.options.reuseLastIi = true;
+            const auto results = benchutil::suiteRunner().run(
+                unrolled, m, benchutil::protoJobs(subset, proto));
+
             double perIter = 0;
             long spills = 0;
             int unfit = 0;
             for (std::size_t i = 0; i < subset; ++i) {
-                const Ddg u = unrollLoop(full[i].graph, factor);
-                PipelinerOptions opts;
-                opts.registers = 32;
-                opts.multiSelect = true;
-                opts.reuseLastIi = true;
-                const PipelineResult r =
-                    pipelineLoop(u, m, Strategy::Spill, opts);
+                const PipelineResult &r = results[i];
                 perIter += double(r.ii()) / factor;
                 spills += r.spilledLifetimes;
                 unfit += !r.success;

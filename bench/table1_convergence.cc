@@ -28,6 +28,7 @@ void
 runTable1(benchmark::State &state)
 {
     const auto &suite = evaluationSuite();
+    SuiteRunner &runner = suiteRunner();
 
     for (auto _ : state) {
         Table table({"config", "registers", "never-converge",
@@ -37,24 +38,32 @@ runTable1(benchmark::State &state)
         for (const Machine &m : evaluationMachines()) {
             // Cycle weights under infinite registers (the paper's
             // normalization for the % column).
+            std::vector<BatchJob> idealJobs;
+            for (std::size_t i = 0; i < suite.size(); ++i)
+                idealJobs.push_back(
+                    variantJob(int(i), Variant::Ideal, 0));
+            const auto ideal = runner.run(suite, m, idealJobs);
+
             std::vector<double> idealCycles;
             double totalCycles = 0;
-            for (const SuiteLoop &loop : suite) {
-                const PipelineResult r = pipelineIdeal(loop.graph, m);
-                const double c =
-                    double(r.ii()) * double(loop.iterations);
+            for (std::size_t i = 0; i < suite.size(); ++i) {
+                const double c = double(ideal[i].ii()) *
+                                 double(suite[i].iterations);
                 idealCycles.push_back(c);
                 totalCycles += c;
             }
 
             for (const int registers : {64, 32}) {
+                std::vector<BatchJob> jobs;
+                for (std::size_t i = 0; i < suite.size(); ++i)
+                    jobs.push_back(variantJob(
+                        int(i), Variant::IncreaseIi, registers));
+                const auto results = runner.run(suite, m, jobs);
+
                 int diverged = 0;
                 double divergedCycles = 0;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
-                    const PipelineResult r =
-                        runVariant(suite[i].graph, m, registers,
-                                   Variant::IncreaseIi);
-                    if (r.usedFallback) {
+                    if (results[i].usedFallback) {
                         ++diverged;
                         divergedCycles += idealCycles[i];
                         (registers == 32 ? failing32 : failing64)

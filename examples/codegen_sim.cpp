@@ -55,17 +55,17 @@ main(int argc, char **argv)
               << r.spilledLifetimes << " spills\n\n";
 
     // Rotating-register kernel with prologue and epilogue.
-    std::cout << formatKernelListing(r.graph, m, r.sched,
+    std::cout << formatKernelListing(r.graph(), m, r.sched,
                                      r.alloc.rotAlloc);
 
     // Modulo variable expansion: software-only renaming.
-    const LifetimeInfo info = analyzeLifetimes(r.graph, r.sched);
-    std::cout << "\n" << formatMveKernel(r.graph, r.sched, info);
+    const LifetimeInfo info = analyzeLifetimes(r.graph(), r.sched);
+    std::cout << "\n" << formatMveKernel(r.graph(), r.sched, info);
 
     // Cycle-accurate execution.
     SimConfig cfg;
     cfg.iterations = iterations;
-    const SimResult sim = simulatePipelined(r.graph, m, r.sched,
+    const SimResult sim = simulatePipelined(r.graph(), m, r.sched,
                                             r.alloc.rotAlloc, cfg);
     if (!sim.ok) {
         std::cout << "\nsimulation FAILED: " << sim.error << "\n";
@@ -77,7 +77,7 @@ main(int argc, char **argv)
               << " cycles/iteration\n";
 
     std::string why;
-    if (!equivalentToSequential(g, r.graph, m, r.sched, r.alloc.rotAlloc,
+    if (!equivalentToSequential(g, r.graph(), m, r.sched, r.alloc.rotAlloc,
                                 iterations, &why)) {
         std::cout << "MISMATCH vs sequential reference: " << why << "\n";
         return 1;

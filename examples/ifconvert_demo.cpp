@@ -74,10 +74,10 @@ main()
     std::cout << "pipelined: " << (r.success ? "fits" : "DOES NOT FIT")
               << " in " << r.alloc.regsRequired << " registers, II="
               << r.ii() << "\n";
-    std::cout << formatSchedule(r.graph, m, r.sched) << "\n";
+    std::cout << formatSchedule(r.graph(), m, r.sched) << "\n";
 
     std::string why;
-    if (!equivalentToSequential(g, r.graph, m, r.sched, r.alloc.rotAlloc,
+    if (!equivalentToSequential(g, r.graph(), m, r.sched, r.alloc.rotAlloc,
                                 50, &why)) {
         std::cout << "simulation MISMATCH: " << why << "\n";
         return 1;

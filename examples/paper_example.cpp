@@ -83,8 +83,8 @@ main()
     opts.heuristic = SpillHeuristic::MaxLT;
     const PipelineResult r = pipelineLoop(g, m, Strategy::Spill, opts);
     std::cout << "spilled " << r.spilledLifetimes
-              << " lifetime(s); new graph:\n" << r.graph.dump() << "\n";
-    report("Figure 6: spilled, II=2, 5 registers", r.graph, r.sched);
+              << " lifetime(s); new graph:\n" << r.graph().dump() << "\n";
+    report("Figure 6: spilled, II=2, 5 registers", r.graph(), r.sched);
 
     std::cout << "paper: increasing the II to fit 6 registers would "
                  "need II=3; spilling achieves II=" << r.ii() << " with "

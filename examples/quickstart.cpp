@@ -63,12 +63,12 @@ main(int argc, char **argv)
               << (r.success ? "fits" : "DOES NOT FIT") << " in "
               << r.alloc.regsRequired << " registers (II=" << r.ii()
               << ", " << r.spilledLifetimes << " lifetimes spilled)\n\n";
-    std::cout << formatSchedule(r.graph, m, r.sched) << "\n";
+    std::cout << formatSchedule(r.graph(), m, r.sched) << "\n";
 
     // 3. Execute the pipelined loop and check it against sequential
     //    semantics.
     std::string why;
-    if (equivalentToSequential(g, r.graph, m, r.sched, r.alloc.rotAlloc,
+    if (equivalentToSequential(g, r.graph(), m, r.sched, r.alloc.rotAlloc,
                                64, &why)) {
         std::cout << "simulation: 64 iterations match the sequential "
                      "reference\n";

@@ -27,6 +27,9 @@
  *   --suite N                     use the first N generated suite loops
  *   --seed S                      suite generator seed (default: the
  *                                 pinned kDefaultSuiteSeed)
+ *   --threads N                   evaluation worker threads (default 1;
+ *                                 0 = all hardware threads). Output is
+ *                                 byte-identical at any thread count.
  */
 
 #include <cstdlib>
@@ -35,6 +38,7 @@
 #include <vector>
 
 #include "codegen/kernel.hh"
+#include "driver/suite_runner.hh"
 #include "ir/builder.hh"
 #include "pipeliner/pipeliner.hh"
 #include "sched/mii.hh"
@@ -60,6 +64,7 @@ struct CliOptions
     bool mve = false;
     long simulate = 0;
     bool csv = false;
+    int threads = 1;
     std::vector<SuiteLoop> loops;
 };
 
@@ -163,6 +168,10 @@ parseArgs(int argc, char **argv)
             if (!parseUint64(text, suiteParams.seed))
                 usageError(std::string("bad --seed value ") + text);
             seedSet = true;
+        } else if (!std::strcmp(arg, "--threads")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 0, 4096, opts.threads))
+                usageError(std::string("bad --threads count ") + text);
         } else if (arg[0] == '-') {
             usageError(std::string("unknown option ") + arg);
         } else {
@@ -180,14 +189,11 @@ parseArgs(int argc, char **argv)
 }
 
 int
-processLoop(const CliOptions &opts, const SuiteLoop &loop)
+reportLoop(const CliOptions &opts, const SuiteLoop &loop,
+           const PipelineResult &r)
 {
     const Ddg &g = loop.graph;
     const Machine &m = opts.machine;
-
-    const PipelineResult r =
-        opts.ideal ? pipelineIdeal(g, m, opts.pipeline.scheduler)
-                   : pipelineLoop(g, m, opts.strategy, opts.pipeline);
 
     if (opts.csv) {
         std::cout << g.name() << "," << m.name() << ","
@@ -209,16 +215,16 @@ processLoop(const CliOptions &opts, const SuiteLoop &loop)
     }
 
     if (opts.kernel) {
-        std::cout << formatKernelListing(r.graph, m, r.sched,
+        std::cout << formatKernelListing(r.graph(), m, r.sched,
                                          r.alloc.rotAlloc);
     }
     if (opts.mve) {
-        const LifetimeInfo info = analyzeLifetimes(r.graph, r.sched);
-        std::cout << formatMveKernel(r.graph, r.sched, info);
+        const LifetimeInfo info = analyzeLifetimes(r.graph(), r.sched);
+        std::cout << formatMveKernel(r.graph(), r.sched, info);
     }
     if (opts.simulate > 0) {
         std::string why;
-        if (!equivalentToSequential(g, r.graph, m, r.sched,
+        if (!equivalentToSequential(g, r.graph(), m, r.sched,
                                     r.alloc.rotAlloc, opts.simulate,
                                     &why)) {
             std::cerr << "simulation MISMATCH on '" << g.name()
@@ -244,9 +250,24 @@ main(int argc, char **argv)
             std::cout << "loop,machine,strategy,budget,fits,mii,ii,"
                          "regs,spills,memops,attempts\n";
         }
+
+        // Evaluate all loops as one batch on the worker pool, then
+        // report serially in input order — the output is byte-identical
+        // at any --threads count.
+        SuiteRunner runner(opts.threads);
+        std::vector<BatchJob> jobs(opts.loops.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            jobs[i].loop = int(i);
+            jobs[i].ideal = opts.ideal;
+            jobs[i].strategy = opts.strategy;
+            jobs[i].options = opts.pipeline;
+        }
+        const std::vector<swp::PipelineResult> results =
+            runner.run(opts.loops, opts.machine, jobs);
+
         int rc = 0;
-        for (const SuiteLoop &loop : opts.loops)
-            rc |= processLoop(opts, loop);
+        for (std::size_t i = 0; i < opts.loops.size(); ++i)
+            rc |= reportLoop(opts, opts.loops[i], results[i]);
         return rc;
     } catch (const swp::FatalError &e) {
         std::cerr << e.what() << "\n";

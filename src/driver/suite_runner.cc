@@ -1,0 +1,227 @@
+#include "driver/suite_runner.hh"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "sched/mii.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** FNV-1a over the MII-relevant structure of a graph. */
+class Fingerprint
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        hash_ ^= v;
+        hash_ *= 0x100000001b3ull;
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(std::uint64_t(s.size()));
+        for (const char c : s)
+            mix(std::uint64_t(static_cast<unsigned char>(c)));
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/**
+ * Machine identity for the bounds memo. Names are not unique (two
+ * Machines can share one), so hash the resource description the MII
+ * computation actually depends on.
+ */
+std::uint64_t
+machineFingerprint(const Machine &m)
+{
+    Fingerprint fp;
+    fp.mix(m.name());
+    fp.mix(std::uint64_t(m.isUniversal()));
+    for (int fu = 0; fu < numFuClasses; ++fu) {
+        fp.mix(std::uint64_t(m.unitsFor(FuClass(fu))));
+        fp.mix(std::uint64_t(m.pipelinedClass(FuClass(fu))));
+    }
+    for (int op = 0; op < numOpcodes; ++op)
+        fp.mix(std::uint64_t(m.latency(Opcode(op))));
+    return fp.value();
+}
+
+std::uint64_t
+graphFingerprint(const Ddg &g)
+{
+    Fingerprint fp;
+    fp.mix(g.name());
+    fp.mix(std::uint64_t(g.numNodes()));
+    fp.mix(std::uint64_t(g.numEdges()));
+    fp.mix(std::uint64_t(g.numInvariants()));
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        fp.mix(std::uint64_t(int(g.node(n).op)));
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        fp.mix(std::uint64_t(edge.alive));
+        if (!edge.alive)
+            continue;
+        fp.mix(std::uint64_t(edge.src));
+        fp.mix(std::uint64_t(edge.dst));
+        fp.mix(std::uint64_t(int(edge.kind)));
+        fp.mix(std::uint64_t(edge.distance));
+        fp.mix(std::uint64_t(edge.nonSpillable));
+        fp.mix(std::uint64_t(edge.fusedDelay));
+    }
+    return fp.value();
+}
+
+} // namespace
+
+SuiteRunner::SuiteRunner(int threads)
+{
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw ? int(hw) : 1;
+    } else {
+        threads_ = threads;
+    }
+}
+
+SuiteRunner::LoopBounds
+SuiteRunner::bounds(const Ddg &g, const Machine &m)
+{
+    const auto key =
+        std::make_pair(graphFingerprint(g), machineFingerprint(m));
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = boundsCache_.find(key);
+        if (it != boundsCache_.end())
+            return it->second;
+    }
+    LoopBounds b;
+    b.mii = mii(g, m);
+    b.recMii = recMii(g, m);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return boundsCache_.emplace(key, b).first->second;
+}
+
+void
+SuiteRunner::dispatch(std::size_t count,
+                      const std::function<Worker()> &makeWorker) const
+{
+    if (count == 0)
+        return;
+    const std::size_t workers =
+        std::min<std::size_t>(std::size_t(threads_), count);
+    if (workers <= 1) {
+        const Worker fn = makeWorker();
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    const auto fail = [&]() {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!error)
+            error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+    };
+    const auto body = [&]() {
+        // makeWorker() runs on the worker thread too (it allocates
+        // per-thread state); a throw there must reach the caller, not
+        // std::terminate.
+        Worker fn;
+        try {
+            fn = makeWorker();
+        } catch (...) {
+            fail();
+            return;
+        }
+        for (;;) {
+            if (abort.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                fail();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(body);
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+SuiteRunner::parallelFor(std::size_t count,
+                         const std::function<void(std::size_t)> &fn) const
+{
+    dispatch(count, [&fn]() -> Worker { return fn; });
+}
+
+std::vector<PipelineResult>
+SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
+                 const std::vector<BatchJob> &jobs)
+{
+    for (const BatchJob &job : jobs) {
+        SWP_ASSERT(job.loop >= 0 && std::size_t(job.loop) < suite.size(),
+                   "batch job references loop ", job.loop,
+                   " outside the ", suite.size(), "-loop suite");
+    }
+
+    std::vector<PipelineResult> results(jobs.size());
+    dispatch(jobs.size(), [&]() -> Worker {
+        // Per-worker scheduler objects, reused across every job this
+        // worker executes (shared_ptr so the returned closure owns
+        // them).
+        std::shared_ptr<ModuloScheduler> hrms =
+            makeScheduler(SchedulerKind::Hrms);
+        std::shared_ptr<ModuloScheduler> ims =
+            makeScheduler(SchedulerKind::Ims);
+        return [this, &suite, &m, &jobs, &results, hrms,
+                ims](std::size_t i) {
+            const BatchJob &job = jobs[i];
+            const Ddg &g = suite[std::size_t(job.loop)].graph;
+            const LoopBounds b = bounds(g, m);
+
+            EvalContext ctx;
+            const SchedulerKind kind = job.options.scheduler;
+            ctx.scheduler =
+                kind == SchedulerKind::Ims ? ims.get() : hrms.get();
+            ctx.imsFallback = ims.get();
+            ctx.knownMii = b.mii;
+
+            results[i] =
+                job.ideal
+                    ? pipelineIdeal(g, m, kind, &ctx)
+                    : pipelineLoop(g, m, job.strategy, job.options, &ctx);
+        };
+    });
+    return results;
+}
+
+} // namespace swp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Multi-threaded batch evaluation driver.
+ *
+ * The paper's experiments are grids: every loop of the suite x every
+ * strategy x every register-file size. SuiteRunner evaluates such a
+ * batch of (loop, strategy, options) jobs across a pool of worker
+ * threads while keeping the output *deterministic*: results[i] always
+ * corresponds to jobs[i], every job is evaluated independently with no
+ * shared mutable state, and all reductions are left to the caller (who
+ * accumulates in index order), so the same batch produces bit-identical
+ * results at any thread count.
+ *
+ * Per-call costs the serial harnesses used to pay on every job are
+ * amortized here: scheduler objects are constructed once per worker
+ * thread and reused across all its jobs, and the MII/RecMII of each
+ * input loop is memoized per (graph content, machine) across batches —
+ * the grid revisits the same 1258 loops dozens of times.
+ */
+
+#ifndef SWP_DRIVER_SUITE_RUNNER_HH
+#define SWP_DRIVER_SUITE_RUNNER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "pipeliner/pipeliner.hh"
+#include "workload/suitegen.hh"
+
+namespace swp
+{
+
+/** One evaluation job of an experiment grid. */
+struct BatchJob
+{
+    /** Index into the suite passed to SuiteRunner::run. */
+    int loop = 0;
+
+    /** Unlimited registers (pipelineIdeal); `strategy` is ignored. */
+    bool ideal = false;
+
+    Strategy strategy = Strategy::Spill;
+    PipelinerOptions options;
+};
+
+/** Deterministic worker-pool evaluator for batches of pipeline jobs. */
+class SuiteRunner
+{
+  public:
+    /** threads == 0 selects the hardware concurrency; 1 runs inline. */
+    explicit SuiteRunner(int threads = 1);
+
+    int threads() const { return threads_; }
+
+    /** Memoized lower bounds of one loop under one machine. */
+    struct LoopBounds
+    {
+        int mii = 0;
+        int recMii = 0;
+    };
+
+    /**
+     * MII/RecMII of a loop, memoized per (graph content, machine
+     * configuration). Safe to call concurrently; both key halves are
+     * structural fingerprints, so rebuilt or short-lived graphs and
+     * same-named machines never alias stale entries.
+     */
+    LoopBounds bounds(const Ddg &g, const Machine &m);
+
+    /**
+     * Evaluate all jobs. results[i] corresponds to jobs[i]; the result
+     * vector is bit-identical at any thread count. Each result's
+     * graph() references the suite entry it was built from unless
+     * spilling transformed the loop, so the suite must outlive the
+     * returned results. Exceptions thrown by a job are rethrown here.
+     */
+    std::vector<PipelineResult> run(const std::vector<SuiteLoop> &suite,
+                                    const Machine &m,
+                                    const std::vector<BatchJob> &jobs);
+
+    /**
+     * Deterministic parallel-for: fn(i) for every i in [0, count), in
+     * unspecified order across the pool. fn must only write to
+     * per-index state (e.g. slot i of a pre-sized vector); exceptions
+     * are rethrown on the calling thread.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn) const;
+
+  private:
+    /**
+     * Pool skeleton: makeWorker() is invoked once on each worker thread
+     * (to build per-thread state such as scheduler objects); the
+     * returned callable is then fed indices from a shared counter.
+     */
+    using Worker = std::function<void(std::size_t)>;
+    void dispatch(std::size_t count,
+                  const std::function<Worker()> &makeWorker) const;
+
+    int threads_ = 1;
+
+    mutable std::mutex cacheMutex_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, LoopBounds>
+        boundsCache_;
+};
+
+} // namespace swp
+
+#endif // SWP_DRIVER_SUITE_RUNNER_HH

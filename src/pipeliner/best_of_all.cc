@@ -1,6 +1,8 @@
 #include "pipeliner/best_of_all.hh"
 
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "pipeliner/spill_pipeline.hh"
 #include "sched/mii.hh"
@@ -38,9 +40,9 @@ tryOriginalAt(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
 
 PipelineResult
 bestOfAllStrategy(const Ddg &g, const Machine &m,
-                  const PipelinerOptions &opts)
+                  const PipelinerOptions &opts, const EvalContext *ctx)
 {
-    PipelineResult spill = spillStrategy(g, m, opts);
+    PipelineResult spill = spillStrategy(g, m, opts, {}, ctx);
     spill.strategy = "best-of-all";
     if (!spill.success || spill.usedFallback)
         return spill;
@@ -50,7 +52,9 @@ bestOfAllStrategy(const Ddg &g, const Machine &m,
         return spill;
     }
 
-    auto scheduler = makeScheduler(opts.scheduler);
+    std::unique_ptr<ModuloScheduler> schedStorage;
+    ModuloScheduler &scheduler =
+        resolveScheduler(ctx, opts.scheduler, schedStorage);
     int attempts = spill.attempts;
 
     // Test the original loop at the II spilling needed. If it fits
@@ -58,19 +62,19 @@ bestOfAllStrategy(const Ddg &g, const Machine &m,
     // beats (or equals) the spill result; binary-search the smallest.
     const int iiSpill = spill.ii();
     auto atSpillIi =
-        tryOriginalAt(g, m, opts, *scheduler, iiSpill, &attempts);
+        tryOriginalAt(g, m, opts, scheduler, iiSpill, &attempts);
     if (!atSpillIi) {
         spill.attempts = attempts;
         return spill;
     }
 
-    const int lower = mii(g, m);
+    const int lower = resolveMii(ctx, g, m);
     int lo = lower;
     int hi = iiSpill;
     Attempt best = std::move(*atSpillIi);
     while (lo < hi) {
         const int mid = lo + (hi - lo) / 2;
-        auto a = tryOriginalAt(g, m, opts, *scheduler, mid, &attempts);
+        auto a = tryOriginalAt(g, m, opts, scheduler, mid, &attempts);
         if (a) {
             best = std::move(*a);
             hi = mid;
@@ -82,7 +86,7 @@ bestOfAllStrategy(const Ddg &g, const Machine &m,
     PipelineResult result;
     result.success = true;
     result.strategy = "best-of-all";
-    result.graph = g;
+    result.bindInputGraph(g);
     result.sched = std::move(best.sched);
     result.alloc = std::move(best.alloc);
     result.mii = lower;

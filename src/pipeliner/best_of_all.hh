@@ -15,6 +15,7 @@
 
 #include "ir/ddg.hh"
 #include "machine/machine.hh"
+#include "pipeliner/context.hh"
 #include "pipeliner/options.hh"
 #include "pipeliner/result.hh"
 
@@ -23,7 +24,13 @@ namespace swp
 
 /** Run the combined spill + increase-II strategy. */
 PipelineResult bestOfAllStrategy(const Ddg &g, const Machine &m,
-                                 const PipelinerOptions &opts);
+                                 const PipelinerOptions &opts,
+                                 const EvalContext *ctx = nullptr);
+
+/** The result references the input graph; temporaries would dangle. */
+PipelineResult bestOfAllStrategy(Ddg &&, const Machine &,
+                                 const PipelinerOptions &,
+                                 const EvalContext * = nullptr) = delete;
 
 } // namespace swp
 

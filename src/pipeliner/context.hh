@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared evaluation context for the strategy drivers.
+ *
+ * One (loop, strategy, options) evaluation is cheap to set up but the
+ * experiment grids of the paper run hundreds of thousands of them, so
+ * the batch driver (src/driver) amortizes the per-call costs: scheduler
+ * objects are constructed once per worker thread and the MII/RecMII of
+ * each input loop is memoized per machine. The strategies accept an
+ * optional EvalContext carrying those shared pieces; without one they
+ * behave exactly as before (build their own scheduler, compute MII).
+ */
+
+#ifndef SWP_PIPELINER_CONTEXT_HH
+#define SWP_PIPELINER_CONTEXT_HH
+
+#include <memory>
+
+#include "sched/mii.hh"
+#include "sched/scheduler.hh"
+
+namespace swp
+{
+
+/** Reusable state for one strategy evaluation (all fields optional). */
+struct EvalContext
+{
+    /**
+     * Core scheduler to use; must implement the algorithm selected by
+     * PipelinerOptions::scheduler (the caller keeps them in sync).
+     */
+    ModuloScheduler *scheduler = nullptr;
+
+    /** IMS instance for the drivers' backtracking safety net. */
+    ModuloScheduler *imsFallback = nullptr;
+
+    /** Memoized mii(g, m) of the *input* graph; -1 = not known. */
+    int knownMii = -1;
+};
+
+/** The context's scheduler, or a lazily-built one kept in `storage`. */
+inline ModuloScheduler &
+resolveScheduler(const EvalContext *ctx, SchedulerKind kind,
+                 std::unique_ptr<ModuloScheduler> &storage)
+{
+    if (ctx && ctx->scheduler)
+        return *ctx->scheduler;
+    if (!storage)
+        storage = makeScheduler(kind);
+    return *storage;
+}
+
+/** The context's IMS fallback, or a lazily-built one kept in `storage`. */
+inline ModuloScheduler &
+resolveImsFallback(const EvalContext *ctx,
+                   std::unique_ptr<ModuloScheduler> &storage)
+{
+    if (ctx && ctx->imsFallback)
+        return *ctx->imsFallback;
+    if (!storage)
+        storage = makeScheduler(SchedulerKind::Ims);
+    return *storage;
+}
+
+/** The memoized MII of the input graph, or compute it. */
+inline int
+resolveMii(const EvalContext *ctx, const Ddg &g, const Machine &m)
+{
+    if (ctx && ctx->knownMii >= 0)
+        return ctx->knownMii;
+    return mii(g, m);
+}
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_CONTEXT_HH

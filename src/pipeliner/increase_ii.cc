@@ -1,5 +1,7 @@
 #include "pipeliner/increase_ii.hh"
 
+#include <memory>
+
 #include "sched/acyclic.hh"
 #include "sched/mii.hh"
 #include "support/diag.hh"
@@ -9,14 +11,16 @@ namespace swp
 
 PipelineResult
 increaseIiStrategy(const Ddg &g, const Machine &m,
-                   const PipelinerOptions &opts)
+                   const PipelinerOptions &opts, const EvalContext *ctx)
 {
     PipelineResult result;
     result.strategy = "increase-II";
-    result.graph = g;
-    result.mii = mii(g, m);
+    result.bindInputGraph(g);
+    result.mii = resolveMii(ctx, g, m);
 
-    auto scheduler = makeScheduler(opts.scheduler);
+    std::unique_ptr<ModuloScheduler> schedStorage;
+    ModuloScheduler &scheduler =
+        resolveScheduler(ctx, opts.scheduler, schedStorage);
 
     // Beyond the single-stage schedule length, increasing II cannot
     // reduce registers any further: only distance components and
@@ -27,7 +31,7 @@ increaseIiStrategy(const Ddg &g, const Machine &m,
     for (int ii = result.mii; ii <= limit; ++ii) {
         ++result.attempts;
         ++result.rounds;
-        auto sched = scheduler->scheduleAt(g, m, ii);
+        auto sched = scheduler.scheduleAt(g, m, ii);
         if (!sched)
             continue;
         AllocationOutcome alloc =
@@ -50,10 +54,19 @@ increaseIiStrategy(const Ddg &g, const Machine &m,
 
 int
 registersAtIi(const Ddg &g, const Machine &m, int ii,
-              const PipelinerOptions &opts)
+              const PipelinerOptions &opts, const EvalContext *ctx)
 {
-    auto scheduler = makeScheduler(opts.scheduler);
-    auto sched = scheduler->scheduleAt(g, m, ii);
+    std::unique_ptr<ModuloScheduler> schedStorage, imsStorage;
+    ModuloScheduler &scheduler =
+        resolveScheduler(ctx, opts.scheduler, schedStorage);
+    auto sched = scheduler.scheduleAt(g, m, ii);
+    if (!sched && opts.scheduler != SchedulerKind::Ims) {
+        // Same safety net as the strategy drivers: a non-backtracking
+        // scheduler can fail at IIs that IMS's eviction mechanism can
+        // place, and the sweep should report those points, not holes.
+        ModuloScheduler &ims = resolveImsFallback(ctx, imsStorage);
+        sched = ims.scheduleAt(g, m, ii);
+    }
     if (!sched)
         return -1;
     const AllocationOutcome alloc =

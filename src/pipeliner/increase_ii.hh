@@ -18,6 +18,7 @@
 
 #include "ir/ddg.hh"
 #include "machine/machine.hh"
+#include "pipeliner/context.hh"
 #include "pipeliner/options.hh"
 #include "pipeliner/result.hh"
 
@@ -26,14 +27,24 @@ namespace swp
 
 /** Run the increase-II strategy. */
 PipelineResult increaseIiStrategy(const Ddg &g, const Machine &m,
-                                  const PipelinerOptions &opts);
+                                  const PipelinerOptions &opts,
+                                  const EvalContext *ctx = nullptr);
+
+/** The result references the input graph; temporaries would dangle. */
+PipelineResult increaseIiStrategy(Ddg &&, const Machine &,
+                                  const PipelinerOptions &,
+                                  const EvalContext * = nullptr) = delete;
 
 /**
  * One point of the Figure 4 sweep: the register requirement of the best
- * schedule at exactly this II, or -1 when the scheduler fails there.
+ * schedule at exactly this II, or -1 when no scheduler succeeds there.
+ * Applies the same IMS safety net as the strategy drivers, so a
+ * non-backtracking scheduler's placement failure does not punch a hole
+ * into the sweep at an II the drivers would reach.
  */
 int registersAtIi(const Ddg &g, const Machine &m, int ii,
-                  const PipelinerOptions &opts);
+                  const PipelinerOptions &opts,
+                  const EvalContext *ctx = nullptr);
 
 } // namespace swp
 

@@ -1,6 +1,7 @@
 #include "pipeliner/pipeliner.hh"
 
 #include <limits>
+#include <memory>
 
 #include "sched/ii_search.hh"
 #include "sched/mii.hh"
@@ -22,35 +23,37 @@ strategyName(Strategy s)
 
 PipelineResult
 pipelineLoop(const Ddg &g, const Machine &m, Strategy s,
-             const PipelinerOptions &opts)
+             const PipelinerOptions &opts, const EvalContext *ctx)
 {
     switch (s) {
       case Strategy::IncreaseII:
-        return increaseIiStrategy(g, m, opts);
+        return increaseIiStrategy(g, m, opts, ctx);
       case Strategy::Spill:
-        return spillStrategy(g, m, opts);
+        return spillStrategy(g, m, opts, {}, ctx);
       case Strategy::BestOfAll:
-        return bestOfAllStrategy(g, m, opts);
+        return bestOfAllStrategy(g, m, opts, ctx);
     }
     SWP_PANIC("unknown strategy ", int(s));
 }
 
 PipelineResult
-pipelineIdeal(const Ddg &g, const Machine &m, SchedulerKind kind)
+pipelineIdeal(const Ddg &g, const Machine &m, SchedulerKind kind,
+              const EvalContext *ctx)
 {
     PipelineResult result;
     result.strategy = "ideal";
-    result.graph = g;
-    result.mii = mii(g, m);
+    result.bindInputGraph(g);
+    result.mii = resolveMii(ctx, g, m);
 
-    auto scheduler = makeScheduler(kind);
-    IiSearchResult search = searchIi(*scheduler, g, m, result.mii);
+    std::unique_ptr<ModuloScheduler> schedStorage, imsStorage;
+    ModuloScheduler &scheduler = resolveScheduler(ctx, kind, schedStorage);
+    IiSearchResult search = searchIi(scheduler, g, m, result.mii);
     result.attempts = search.attempts;
     if (!search.sched && kind != SchedulerKind::Ims) {
         // Same safety net as the spilling driver: IMS backtracks
         // through placements a non-backtracking order cannot finish.
-        auto ims = makeScheduler(SchedulerKind::Ims);
-        search = searchIi(*ims, g, m, result.mii);
+        ModuloScheduler &ims = resolveImsFallback(ctx, imsStorage);
+        search = searchIi(ims, g, m, result.mii);
         result.attempts += search.attempts;
     }
     SWP_ASSERT(search.sched.has_value(),

@@ -32,14 +32,26 @@ const char *strategyName(Strategy s);
 
 /** Run the chosen strategy on a loop. */
 PipelineResult pipelineLoop(const Ddg &g, const Machine &m, Strategy s,
-                            const PipelinerOptions &opts);
+                            const PipelinerOptions &opts,
+                            const EvalContext *ctx = nullptr);
+
+/** The result references the input graph; temporaries would dangle. */
+PipelineResult pipelineLoop(Ddg &&, const Machine &, Strategy,
+                            const PipelinerOptions &,
+                            const EvalContext * = nullptr) = delete;
 
 /**
  * Schedule with an unlimited register file (the paper's "ideal"
  * baseline): the plain II search from MII with no register constraint.
  */
 PipelineResult pipelineIdeal(const Ddg &g, const Machine &m,
-                             SchedulerKind kind = SchedulerKind::Hrms);
+                             SchedulerKind kind = SchedulerKind::Hrms,
+                             const EvalContext *ctx = nullptr);
+
+/** The result references the input graph; temporaries would dangle. */
+PipelineResult pipelineIdeal(Ddg &&, const Machine &,
+                             SchedulerKind = SchedulerKind::Hrms,
+                             const EvalContext * = nullptr) = delete;
 
 } // namespace swp
 

@@ -1,6 +1,9 @@
 #include "pipeliner/spill_pipeline.hh"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "sched/acyclic.hh"
 #include "sched/ii_search.hh"
@@ -13,23 +16,40 @@ namespace swp
 
 PipelineResult
 spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
-              const SpillRoundObserver &observer)
+              const SpillRoundObserver &observer, const EvalContext *ctx)
 {
     PipelineResult result;
     result.strategy = "spill";
-    result.graph = g;
 
-    auto scheduler = makeScheduler(opts.scheduler);
+    std::unique_ptr<ModuloScheduler> schedStorage, imsStorage;
+    ModuloScheduler &scheduler =
+        resolveScheduler(ctx, opts.scheduler, schedStorage);
 
     Ddg work = g;
     int prevIi = 0;
 
+    // Best over-budget schedule seen so far (lowest register
+    // requirement). Kept so that exhausting the rounds or the
+    // candidates does not discard valid scheduling work. A null graph
+    // snapshot means the schedule refers to the untransformed input
+    // (round 1, before any spill), avoiding a pointless Ddg copy.
+    struct BestSoFar
+    {
+        std::shared_ptr<const Ddg> graph;
+        Schedule sched;
+        AllocationOutcome alloc;
+        int mii = 0;
+        int spilled = 0;
+    };
+    std::optional<BestSoFar> best;
+
     for (int round = 1; round <= opts.maxSpillRounds; ++round) {
-        const int curMii = mii(work, m);
+        const int curMii =
+            round == 1 ? resolveMii(ctx, g, m) : mii(work, m);
         const int startIi =
             opts.reuseLastIi ? std::max(curMii, prevIi) : curMii;
 
-        IiSearchResult search = searchIi(*scheduler, work, m, startIi);
+        IiSearchResult search = searchIi(scheduler, work, m, startIi);
         result.attempts += search.attempts;
         result.rounds = round;
 
@@ -37,13 +57,13 @@ spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
             // Safety net: HRMS's non-backtracking placement can fail on
             // pathological group topologies at every II; IMS's eviction
             // mechanism handles those, at some register-quality cost.
-            auto ims = makeScheduler(SchedulerKind::Ims);
-            search = searchIi(*ims, work, m, startIi);
+            ModuloScheduler &ims = resolveImsFallback(ctx, imsStorage);
+            search = searchIi(ims, work, m, startIi);
             result.attempts += search.attempts;
         }
         if (!search.sched) {
             // No scheduler could place the transformed loop at any II;
-            // fall back to local scheduling of the original loop.
+            // keep the best earlier round (or fall back) below.
             break;
         }
 
@@ -65,11 +85,24 @@ spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
 
         if (alloc.fits) {
             result.success = true;
-            result.graph = std::move(work);
+            if (result.spilledLifetimes == 0)
+                result.bindInputGraph(g);  // `work` is still the input.
+            else
+                result.adoptGraph(std::move(work));
             result.sched = std::move(sched);
             result.alloc = std::move(alloc);
             result.mii = curMii;
             return result;
+        }
+
+        if (!best || alloc.regsRequired < best->alloc.regsRequired) {
+            best.emplace();
+            if (result.spilledLifetimes > 0)
+                best->graph = std::make_shared<const Ddg>(work);
+            best->sched = sched;
+            best->alloc = alloc;
+            best->mii = curMii;
+            best->spilled = result.spilledLifetimes;
         }
 
         const LifetimeInfo lifetimes = analyzeLifetimes(work, sched);
@@ -77,12 +110,8 @@ spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
             spillCandidates(work, lifetimes, opts.spillUses);
         if (candidates.empty()) {
             // Nothing left to spill: every lifetime is already a spill
-            // artifact. Keep the best schedule we have.
-            result.graph = std::move(work);
-            result.sched = std::move(sched);
-            result.alloc = std::move(alloc);
-            result.mii = curMii;
-            return result;
+            // artifact. Keep the best schedule seen (below).
+            break;
         }
 
         std::vector<SpillCandidate> picks;
@@ -107,13 +136,29 @@ spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
         }
     }
 
-    // Convergence failure (or scheduling failure): local scheduling of
-    // the original loop, like the Cydra 5 compiler's last resort.
+    // The iteration ended over budget. Local scheduling of the original
+    // loop (the Cydra 5 compiler's last resort) is used only when it
+    // actually fits the budget or when no modulo schedule exists at
+    // all; otherwise the best over-budget modulo schedule is kept.
+    Schedule acyclicSched = scheduleAcyclic(g, m);
+    AllocationOutcome acyclicAlloc =
+        allocateLoop(g, acyclicSched, opts.registers, opts.fit);
+    if (best && !acyclicAlloc.fits) {
+        if (best->graph)
+            result.adoptGraph(std::move(best->graph));
+        else
+            result.bindInputGraph(g);
+        result.sched = std::move(best->sched);
+        result.alloc = std::move(best->alloc);
+        result.mii = best->mii;
+        result.spilledLifetimes = best->spilled;
+        return result;
+    }
     result.usedFallback = true;
-    result.graph = g;
-    result.sched = scheduleAcyclic(g, m);
-    result.alloc = allocateLoop(g, result.sched, opts.registers, opts.fit);
-    result.mii = mii(g, m);
+    result.bindInputGraph(g);
+    result.sched = std::move(acyclicSched);
+    result.alloc = std::move(acyclicAlloc);
+    result.mii = resolveMii(ctx, g, m);
     result.success = result.alloc.fits;
     return result;
 }

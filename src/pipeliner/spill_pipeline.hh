@@ -19,6 +19,7 @@
 
 #include "ir/ddg.hh"
 #include "machine/machine.hh"
+#include "pipeliner/context.hh"
 #include "pipeliner/options.hh"
 #include "pipeliner/result.hh"
 
@@ -38,10 +39,27 @@ struct SpillRoundInfo
 
 using SpillRoundObserver = std::function<void(const SpillRoundInfo &)>;
 
-/** Run the iterative spilling strategy. */
+/**
+ * Run the iterative spilling strategy.
+ *
+ * When the iteration stops without fitting the budget (rounds
+ * exhausted, candidates exhausted, or no schedulable II), the result
+ * keeps the best — lowest register requirement — modulo schedule seen
+ * across all rounds; the acyclic fallback of the original loop is used
+ * only when no modulo schedule exists at all, or when the acyclic
+ * schedule actually fits the budget (a valid result beats an
+ * over-budget one).
+ */
 PipelineResult spillStrategy(const Ddg &g, const Machine &m,
                              const PipelinerOptions &opts,
-                             const SpillRoundObserver &observer = {});
+                             const SpillRoundObserver &observer = {},
+                             const EvalContext *ctx = nullptr);
+
+/** The result references the input graph; temporaries would dangle. */
+PipelineResult spillStrategy(Ddg &&, const Machine &,
+                             const PipelinerOptions &,
+                             const SpillRoundObserver & = {},
+                             const EvalContext * = nullptr) = delete;
 
 } // namespace swp
 

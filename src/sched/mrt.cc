@@ -131,9 +131,15 @@ Mrt::removeGroup(const Ddg &g, const ComplexGroup &grp,
 std::vector<NodeId>
 Mrt::conflicts(Opcode op, int t) const
 {
+    const int occ = m_.occupancy(op);
+    if (occ > ii_) {
+        // findUnit can never place this op at this II, no matter what
+        // is evicted: reporting "blockers" here would send IMS chasing
+        // nodes whose removal cannot help. Consistently report none.
+        return {};
+    }
     const FuClass fu = fuClassOf(op);
     const int units = m_.unitsFor(fu);
-    const int occ = std::min(m_.occupancy(op), ii_);
     std::vector<NodeId> blockers;
     for (int u = 0; u < units; ++u) {
         for (int c = 0; c < occ; ++c) {

@@ -69,7 +69,9 @@ class Mrt
 
     /**
      * Occupants that block op at time t (each at most once). Used by
-     * iterative modulo scheduling to decide what to evict.
+     * iterative modulo scheduling to decide what to evict. Empty when
+     * the op's occupancy exceeds II (findUnit can never place it, so
+     * no eviction helps), mirroring findUnit's rejection.
      */
     std::vector<NodeId> conflicts(Opcode op, int t) const;
 

@@ -214,7 +214,7 @@ TEST(IfConvert, ConvertedLoopPipelinesAndExecutes)
                                           opts);
     ASSERT_TRUE(r.success);
     std::string why;
-    EXPECT_TRUE(equivalentToSequential(g, r.graph, m, r.sched,
+    EXPECT_TRUE(equivalentToSequential(g, r.graph(), m, r.sched,
                                        r.alloc.rotAlloc, 20, &why))
         << why;
 }

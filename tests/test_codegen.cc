@@ -71,7 +71,7 @@ TEST(Kernel, ListingShowsPrologueKernelEpilogue)
     const Machine m = Machine::universal("fig2", 4, 2);
     const PipelineResult r = pipelineIdeal(g, m);
     const std::string text =
-        formatKernelListing(r.graph, m, r.sched, r.alloc.rotAlloc);
+        formatKernelListing(r.graph(), m, r.sched, r.alloc.rotAlloc);
     EXPECT_NE(text.find("prologue_stage_0"), std::string::npos);
     EXPECT_NE(text.find("kernel:"), std::string::npos);
     EXPECT_NE(text.find("epilogue_stage_0"), std::string::npos);
@@ -129,7 +129,7 @@ TEST(Kernel, SpilledLoopListingIncludesSpillOps)
     const PipelineResult r = pipelineLoop(g, m, Strategy::Spill, opts);
     ASSERT_TRUE(r.success);
     const std::string text =
-        formatKernelListing(r.graph, m, r.sched, r.alloc.rotAlloc);
+        formatKernelListing(r.graph(), m, r.sched, r.alloc.rotAlloc);
     EXPECT_NE(text.find("Ls_"), std::string::npos);
 }
 

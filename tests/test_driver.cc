@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Batch driver tests: deterministic results at any thread count on the
+ * pinned-seed suite, the MII/RecMII memo, and the parallel-for
+ * primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "driver/suite_runner.hh"
+#include "sched/mii.hh"
+#include "workload/suitegen.hh"
+
+namespace swp
+{
+namespace
+{
+
+/** A small pinned-seed suite plus a mixed job grid over it. */
+std::vector<SuiteLoop>
+testSuite(int loops)
+{
+    SuiteParams params;  // Pinned default seed.
+    params.numLoops = loops;
+    return generateSuite(params);
+}
+
+std::vector<BatchJob>
+mixedGrid(std::size_t loops)
+{
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < loops; ++i) {
+        BatchJob spill;
+        spill.loop = int(i);
+        spill.strategy = Strategy::Spill;
+        spill.options.registers = 32;
+        spill.options.multiSelect = true;
+        spill.options.reuseLastIi = true;
+        jobs.push_back(spill);
+
+        BatchJob incr;
+        incr.loop = int(i);
+        incr.strategy = Strategy::IncreaseII;
+        incr.options.registers = 32;
+        jobs.push_back(incr);
+
+        BatchJob ideal;
+        ideal.loop = int(i);
+        ideal.ideal = true;
+        jobs.push_back(ideal);
+    }
+    return jobs;
+}
+
+void
+expectIdenticalResults(const PipelineResult &a, const PipelineResult &b,
+                       std::size_t job)
+{
+    EXPECT_EQ(a.success, b.success) << "job " << job;
+    EXPECT_EQ(a.usedFallback, b.usedFallback) << "job " << job;
+    EXPECT_EQ(a.mii, b.mii) << "job " << job;
+    EXPECT_EQ(a.rounds, b.rounds) << "job " << job;
+    EXPECT_EQ(a.attempts, b.attempts) << "job " << job;
+    EXPECT_EQ(a.spilledLifetimes, b.spilledLifetimes) << "job " << job;
+    EXPECT_EQ(a.strategy, b.strategy) << "job " << job;
+    EXPECT_EQ(a.ii(), b.ii()) << "job " << job;
+    EXPECT_EQ(a.alloc.regsRequired, b.alloc.regsRequired)
+        << "job " << job;
+    EXPECT_EQ(a.alloc.maxLive, b.alloc.maxLive) << "job " << job;
+    EXPECT_EQ(a.memOpsPerIteration(), b.memOpsPerIteration())
+        << "job " << job;
+    ASSERT_EQ(a.graph().numNodes(), b.graph().numNodes())
+        << "job " << job;
+    for (NodeId n = 0; n < a.graph().numNodes(); ++n) {
+        EXPECT_EQ(a.sched.time(n), b.sched.time(n))
+            << "job " << job << " node " << n;
+        EXPECT_EQ(a.sched.unit(n), b.sched.unit(n))
+            << "job " << job << " node " << n;
+    }
+}
+
+TEST(SuiteRunner, ResultsIdenticalAtOneAndManyThreads)
+{
+    const std::vector<SuiteLoop> suite = testSuite(40);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner serial(1);
+    SuiteRunner pooled(4);
+    const auto a = serial.run(suite, m, jobs);
+    const auto b = pooled.run(suite, m, jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectIdenticalResults(a[i], b[i], i);
+
+    // The harnesses' accumulated floating-point totals must also match
+    // bit-for-bit: same values reduced in the same (index) order.
+    double cyclesA = 0, cyclesB = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const long w = suite[std::size_t(jobs[i].loop)].iterations;
+        cyclesA += double(a[i].ii()) * double(w);
+        cyclesB += double(b[i].ii()) * double(w);
+    }
+    EXPECT_EQ(cyclesA, cyclesB);
+}
+
+TEST(SuiteRunner, RepeatedRunsAreIdentical)
+{
+    // The MII memo and scheduler reuse must not make a second pass over
+    // the same grid diverge from the first.
+    const std::vector<SuiteLoop> suite = testSuite(12);
+    const Machine m = Machine::p1l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner runner(3);
+    const auto first = runner.run(suite, m, jobs);
+    const auto second = runner.run(suite, m, jobs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectIdenticalResults(first[i], second[i], i);
+}
+
+TEST(SuiteRunner, BoundsMatchDirectComputation)
+{
+    const std::vector<SuiteLoop> suite = testSuite(8);
+    SuiteRunner runner(2);
+    for (const Machine &m : {Machine::p1l4(), Machine::p2l6()}) {
+        for (const SuiteLoop &loop : suite) {
+            const SuiteRunner::LoopBounds b = runner.bounds(loop.graph, m);
+            EXPECT_EQ(b.mii, mii(loop.graph, m)) << loop.graph.name();
+            EXPECT_EQ(b.recMii, recMii(loop.graph, m))
+                << loop.graph.name();
+            // Second lookup hits the memo and must agree.
+            const SuiteRunner::LoopBounds again =
+                runner.bounds(loop.graph, m);
+            EXPECT_EQ(again.mii, b.mii);
+            EXPECT_EQ(again.recMii, b.recMii);
+        }
+    }
+}
+
+TEST(SuiteRunner, BoundsDistinguishSameNamedMachines)
+{
+    // The memo key must reflect the machine's configuration, not just
+    // its (non-unique) name.
+    const std::vector<SuiteLoop> suite = testSuite(1);
+    const Ddg &g = suite[0].graph;
+    const Machine wide = Machine::universal("m", 8, 2);
+    const Machine narrow = Machine::universal("m", 1, 2);
+    SuiteRunner runner(1);
+    EXPECT_EQ(runner.bounds(g, wide).mii, mii(g, wide));
+    EXPECT_EQ(runner.bounds(g, narrow).mii, mii(g, narrow));
+    EXPECT_GT(runner.bounds(g, narrow).mii, runner.bounds(g, wide).mii);
+}
+
+TEST(SuiteRunner, ParallelForCoversEveryIndexOnce)
+{
+    SuiteRunner runner(8);
+    std::vector<int> hits(1000, 0);
+    runner.parallelFor(hits.size(),
+                       [&](std::size_t i) { hits[i] += int(i) + 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], int(i) + 1) << i;
+}
+
+TEST(SuiteRunner, ExceptionsPropagateToTheCaller)
+{
+    SuiteRunner runner(4);
+    EXPECT_THROW(runner.parallelFor(64,
+                                    [](std::size_t i) {
+                                        if (i == 17)
+                                            throw std::runtime_error("x");
+                                    }),
+                 std::runtime_error);
+}
+
+TEST(SuiteRunner, ZeroThreadsSelectsHardwareConcurrency)
+{
+    SuiteRunner runner(0);
+    EXPECT_GE(runner.threads(), 1);
+}
+
+TEST(SuiteRunner, ResultsReferenceSuiteGraphsUnlessTransformed)
+{
+    // The lean PipelineResult must not copy the input Ddg: an untouched
+    // loop's result points straight into the suite.
+    const std::vector<SuiteLoop> suite = testSuite(6);
+    const Machine m = Machine::p2l4();
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        BatchJob job;
+        job.loop = int(i);
+        job.ideal = true;
+        jobs.push_back(job);
+    }
+    SuiteRunner runner(2);
+    const auto results = runner.run(suite, m, jobs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_FALSE(results[i].ownsGraph()) << i;
+        EXPECT_EQ(&results[i].graph(), &suite[i].graph) << i;
+    }
+}
+
+} // namespace
+} // namespace swp

@@ -57,7 +57,7 @@ TEST_P(PipelineProperty, SpillStrategyIsSoundAndExecutesCorrectly)
             pipelineLoop(loop.graph, m, Strategy::Spill, opts);
 
         std::string why;
-        ASSERT_TRUE(validateSchedule(r.graph, m, r.sched, &why))
+        ASSERT_TRUE(validateSchedule(r.graph(), m, r.sched, &why))
             << loop.graph.name() << " on " << m.name() << ": " << why;
 
         if (!r.success)
@@ -65,11 +65,11 @@ TEST_P(PipelineProperty, SpillStrategyIsSoundAndExecutesCorrectly)
 
         EXPECT_LE(r.alloc.regsRequired, c.budget)
             << loop.graph.name() << " on " << m.name();
-        const LifetimeInfo info = analyzeLifetimes(r.graph, r.sched);
+        const LifetimeInfo info = analyzeLifetimes(r.graph(), r.sched);
         EXPECT_TRUE(allocationConflictFree(info, r.alloc.rotAlloc, &why))
             << loop.graph.name() << " on " << m.name() << ": " << why;
 
-        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph, m,
+        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph(), m,
                                            r.sched, r.alloc.rotAlloc, 12,
                                            &why))
             << loop.graph.name() << " on " << m.name() << ": " << why;
@@ -88,11 +88,11 @@ TEST_P(PipelineProperty, IncreaseIiIsSoundWhenItConverges)
         pipelineLoop(loop.graph, m, Strategy::IncreaseII, opts);
 
     std::string why;
-    ASSERT_TRUE(validateSchedule(r.graph, m, r.sched, &why))
+    ASSERT_TRUE(validateSchedule(r.graph(), m, r.sched, &why))
         << loop.graph.name() << ": " << why;
     if (r.success) {
         EXPECT_LE(r.alloc.regsRequired, c.budget);
-        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph, m,
+        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph(), m,
                                            r.sched, r.alloc.rotAlloc, 12,
                                            &why))
             << loop.graph.name() << ": " << why;
@@ -176,11 +176,11 @@ TEST(Integration, SchedulerAgnosticSpilling)
         const PipelineResult r =
             pipelineLoop(loop.graph, m, Strategy::Spill, opts);
         std::string why;
-        ASSERT_TRUE(validateSchedule(r.graph, m, r.sched, &why))
+        ASSERT_TRUE(validateSchedule(r.graph(), m, r.sched, &why))
             << loop.graph.name() << ": " << why;
         if (r.success) {
             EXPECT_LE(r.alloc.regsRequired, 16) << loop.graph.name();
-            ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph, m,
+            ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph(), m,
                                                r.sched, r.alloc.rotAlloc,
                                                10, &why))
                 << loop.graph.name() << ": " << why;

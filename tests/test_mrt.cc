@@ -80,6 +80,26 @@ TEST(Mrt, ConflictsReportsBlockers)
     EXPECT_TRUE(mrt.conflicts(Opcode::Add, 1).empty());
 }
 
+TEST(Mrt, ConflictsEmptyWhenOccupancyExceedsIi)
+{
+    // Regression: conflicts() used to clamp the occupancy to II and
+    // report "blockers" for an op findUnit can never place (occupancy
+    // > II), sending IMS eviction after nodes whose removal cannot
+    // help. It must report none, mirroring findUnit's rejection.
+    const Machine m = Machine::p1l4();
+    Mrt mrt(m, 20);
+    // A divide (occupancy 17 <= 20) occupies the div/sqrt unit.
+    ASSERT_GE(mrt.place(Opcode::Div, 0, 5), 0);
+    // A sqrt (occupancy 30 > 20) can never be placed at this II...
+    EXPECT_EQ(mrt.findUnit(Opcode::Sqrt, 0), -1);
+    // ...so evicting the divide cannot help: no blockers.
+    EXPECT_TRUE(mrt.conflicts(Opcode::Sqrt, 0).empty());
+    // The divide itself still conflicts normally with another divide.
+    const auto blockers = mrt.conflicts(Opcode::Div, 3);
+    ASSERT_EQ(blockers.size(), 1u);
+    EXPECT_EQ(blockers[0], 5);
+}
+
 TEST(Mrt, GroupPlacementIsAtomic)
 {
     // Two loads fused to their consumers compete for the one mem unit.

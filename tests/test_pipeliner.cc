@@ -7,10 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "ir/builder.hh"
 #include "pipeliner/pipeliner.hh"
 #include "sched/mii.hh"
+#include "sched/scheduler.hh"
 #include "workload/paper_loops.hh"
+#include "workload/suitegen.hh"
 
 namespace swp
 {
@@ -74,7 +79,7 @@ TEST(Pipeliner, SpillResultValidatesAndFits)
     ASSERT_TRUE(r.success);
     EXPECT_LE(r.alloc.regsRequired, 32);
     std::string why;
-    EXPECT_TRUE(validateSchedule(r.graph, m, r.sched, &why)) << why;
+    EXPECT_TRUE(validateSchedule(r.graph(), m, r.sched, &why)) << why;
     EXPECT_GT(r.spilledLifetimes, 0);
     // Spilling costs II: the final II exceeds the ideal MII.
     EXPECT_GE(r.ii(), mii(g, m));
@@ -120,7 +125,7 @@ TEST(Pipeliner, Apsi50ConvergesBySpilling)
     EXPECT_FALSE(r.usedFallback);
     EXPECT_LE(r.alloc.regsRequired, 32);
     std::string why;
-    EXPECT_TRUE(validateSchedule(r.graph, m, r.sched, &why)) << why;
+    EXPECT_TRUE(validateSchedule(r.graph(), m, r.sched, &why)) << why;
 }
 
 TEST(Pipeliner, Apsi50ConvergesEvenTo16Registers)
@@ -173,7 +178,7 @@ TEST(Pipeliner, BestOfAllNeverWorseThanSpill)
             EXPECT_LE(best.ii(), spill.ii()) << g.name();
         }
         std::string why;
-        EXPECT_TRUE(validateSchedule(best.graph, m, best.sched, &why))
+        EXPECT_TRUE(validateSchedule(best.graph(), m, best.sched, &why))
             << g.name() << ": " << why;
     }
 }
@@ -221,6 +226,82 @@ TEST(Pipeliner, Apsi50FloorIsIiIndependent)
             continue;
         EXPECT_GT(regs, 32) << "ii=" << ii;
     }
+}
+
+TEST(Pipeliner, SpillKeepsBestScheduleWhenRoundsRunOut)
+{
+    // Regression: exhausting maxSpillRounds used to discard every
+    // modulo schedule found and fall back to acyclic scheduling of the
+    // original loop, even though the candidates-exhausted path kept its
+    // schedule. The driver must keep the best (lowest register
+    // requirement) schedule seen across the rounds.
+    const Ddg g = buildApsi47Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 2;  // Nothing fits: every round is over budget.
+    opts.heuristic = SpillHeuristic::MaxLT;
+    opts.maxSpillRounds = 3;
+
+    int minRegsSeen = std::numeric_limits<int>::max();
+    int rounds = 0;
+    const PipelineResult r = spillStrategy(
+        g, m, opts, [&](const SpillRoundInfo &info) {
+            minRegsSeen = std::min(minRegsSeen, info.regsRequired);
+            rounds = info.round;
+        });
+
+    ASSERT_EQ(rounds, 3) << "expected every round to run and fail";
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.usedFallback)
+        << "a valid modulo schedule must not be discarded";
+    EXPECT_EQ(r.alloc.regsRequired, minRegsSeen)
+        << "the kept schedule must be the best seen, not the last";
+    EXPECT_GE(r.ii(), r.mii);
+    std::string why;
+    EXPECT_TRUE(validateSchedule(r.graph(), m, r.sched, &why)) << why;
+}
+
+TEST(Pipeliner, SpillFallsBackOnlyWhenAcyclicFits)
+{
+    // With a budget the acyclic schedule of the original loop can
+    // satisfy, exhausting the rounds may still fall back — a fitting
+    // result beats an over-budget modulo schedule.
+    const Ddg g = buildApsi50Analogue();
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 2;
+    opts.heuristic = SpillHeuristic::MaxLT;
+    opts.maxSpillRounds = 2;
+    const PipelineResult r = spillStrategy(g, m, opts);
+    if (r.usedFallback) {
+        EXPECT_TRUE(r.success)
+            << "fallback without a fitting allocation is a discard";
+    } else {
+        std::string why;
+        EXPECT_TRUE(validateSchedule(r.graph(), m, r.sched, &why)) << why;
+    }
+}
+
+TEST(Pipeliner, RegistersAtIiUsesTheImsSafetyNet)
+{
+    // Suite loop 219 (pinned seed): HRMS's non-backtracking placement
+    // fails at MII on P2L4 while IMS succeeds there. registersAtIi must
+    // apply the same IMS safety net as the strategy drivers instead of
+    // reporting a -1 hole.
+    const SuiteLoop loop = generateSuiteLoop(SuiteParams{}, 219);
+    const Ddg &g = loop.graph;
+    const Machine m = Machine::p2l4();
+    const int lower = mii(g, m);
+
+    auto hrms = makeScheduler(SchedulerKind::Hrms);
+    auto ims = makeScheduler(SchedulerKind::Ims);
+    ASSERT_FALSE(hrms->scheduleAt(g, m, lower).has_value())
+        << "precondition: HRMS fails at MII on this loop";
+    ASSERT_TRUE(ims->scheduleAt(g, m, lower).has_value())
+        << "precondition: IMS succeeds at MII on this loop";
+
+    PipelinerOptions opts;
+    EXPECT_GT(registersAtIi(g, m, lower, opts), 0);
 }
 
 TEST(Pipeliner, SpillObserverSeesMonotoneRounds)

@@ -145,13 +145,13 @@ TEST_P(MachineSweep, ConstrainedPipelineStaysSound)
             pipelineLoop(loop.graph, m, Strategy::Spill, opts);
 
         std::string why;
-        ASSERT_TRUE(validateSchedule(r.graph, m, r.sched, &why))
+        ASSERT_TRUE(validateSchedule(r.graph(), m, r.sched, &why))
             << c.label << " " << loop.graph.name() << ": " << why;
         if (!r.success)
             continue;
         EXPECT_LE(r.alloc.regsRequired, c.registers)
             << c.label << " " << loop.graph.name();
-        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph, m,
+        ASSERT_TRUE(equivalentToSequential(loop.graph, r.graph(), m,
                                            r.sched, r.alloc.rotAlloc, 8,
                                            &why))
             << c.label << " " << loop.graph.name() << ": " << why;

@@ -84,7 +84,7 @@ expectEquivalent(const Ddg &g, const Machine &m, int budget,
     const PipelineResult r = pipelineLoop(g, m, strategy, opts);
     ASSERT_TRUE(r.success) << g.name() << " budget=" << budget;
     std::string why;
-    ASSERT_TRUE(equivalentToSequential(g, r.graph, m, r.sched,
+    ASSERT_TRUE(equivalentToSequential(g, r.graph(), m, r.sched,
                                        r.alloc.rotAlloc, iterations, &why))
         << g.name() << " budget=" << budget << ": " << why;
 }
@@ -95,7 +95,7 @@ TEST(Vliw, PaperExampleIdealExecutesCorrectly)
     const Machine m = Machine::universal("fig2", 4, 2);
     const PipelineResult r = pipelineIdeal(g, m);
     std::string why;
-    EXPECT_TRUE(equivalentToSequential(g, r.graph, m, r.sched,
+    EXPECT_TRUE(equivalentToSequential(g, r.graph(), m, r.sched,
                                        r.alloc.rotAlloc, 32, &why))
         << why;
 }
@@ -139,7 +139,7 @@ TEST(Vliw, CountsMemoryTraffic)
     SimConfig cfg;
     cfg.iterations = 10;
     const SimResult sim =
-        simulatePipelined(r.graph, m, r.sched, r.alloc.rotAlloc, cfg);
+        simulatePipelined(r.graph(), m, r.sched, r.alloc.rotAlloc, cfg);
     ASSERT_TRUE(sim.ok) << sim.error;
     EXPECT_EQ(sim.memoryOps, 20);  // 1 load + 1 store per iteration.
     EXPECT_GT(sim.cycles, 10);
@@ -160,7 +160,7 @@ TEST(Vliw, DetectsClobberFromBadAllocation)
     bad.registers = 2;  // Far below MaxLive.
     SimConfig cfg;
     cfg.iterations = 16;
-    const SimResult sim = simulatePipelined(r.graph, m, r.sched, bad, cfg);
+    const SimResult sim = simulatePipelined(r.graph(), m, r.sched, bad, cfg);
     EXPECT_FALSE(sim.ok);
     EXPECT_NE(sim.error.find("clobbered"), std::string::npos);
 }

@@ -183,9 +183,9 @@ TEST(SpillUses, PipelineWithUseGranularityIsSoundAndCorrect)
                                               opts);
         ASSERT_TRUE(r.success) << g.name();
         std::string why;
-        ASSERT_TRUE(validateSchedule(r.graph, m, r.sched, &why))
+        ASSERT_TRUE(validateSchedule(r.graph(), m, r.sched, &why))
             << g.name() << ": " << why;
-        ASSERT_TRUE(equivalentToSequential(g, r.graph, m, r.sched,
+        ASSERT_TRUE(equivalentToSequential(g, r.graph(), m, r.sched,
                                            r.alloc.rotAlloc, 16, &why))
             << g.name() << ": " << why;
     }

@@ -125,7 +125,7 @@ TEST(Unroll, UnrolledLoopPipelinesAndExecutes)
     // original rate of 1 cycle each.
     EXPECT_LE(r.ii(), 3);
     std::string why;
-    EXPECT_TRUE(equivalentToSequential(u, r.graph, m, r.sched,
+    EXPECT_TRUE(equivalentToSequential(u, r.graph(), m, r.sched,
                                        r.alloc.rotAlloc, 20, &why))
         << why;
 }
