@@ -207,7 +207,8 @@ protoJobs(std::size_t n, const BatchJob &proto)
 SuiteRunner &
 suiteRunner()
 {
-    static SuiteRunner runner(benchOptions().threads);
+    static SuiteRunner runner(benchOptions().threads,
+                              benchOptions().memo);
     return runner;
 }
 
@@ -295,6 +296,12 @@ initBenchArgs(int *argc, char ***argv, bool nativeJson)
             const char *text = next(i, arg);
             if (!parseIntInRange(text, 0, 4096, opts.threads))
                 flagError(std::string("bad --threads count ") + text);
+        } else if (!std::strcmp(arg, "--memo")) {
+            const char *text = next(i, arg);
+            int memo = 1;
+            if (!parseIntInRange(text, 0, 1, memo))
+                flagError(std::string("bad --memo value ") + text);
+            opts.memo = memo != 0;
         } else {
             keep.push_back(arg);
         }

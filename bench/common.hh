@@ -40,12 +40,17 @@ namespace swp::benchutil
  *   --threads <n>    evaluation worker threads (default 1; 0 = all
  *                    hardware threads). Results are deterministic:
  *                    output is byte-identical at any thread count.
+ *   --memo <0|1>     schedule memoization (default 1). Results are
+ *                    byte-identical either way; 0 re-schedules every
+ *                    (graph, machine, II) probe, for measuring the
+ *                    memo's effect and for CI's determinism diff.
  */
 struct BenchOptions
 {
     SuiteParams suite;
     std::string jsonPath;
     int threads = 1;
+    bool memo = true;
 
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */

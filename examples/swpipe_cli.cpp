@@ -30,6 +30,8 @@
  *   --threads N                   evaluation worker threads (default 1;
  *                                 0 = all hardware threads). Output is
  *                                 byte-identical at any thread count.
+ *   --memo 0|1                    schedule memoization (default 1);
+ *                                 output is byte-identical either way
  */
 
 #include <cstdlib>
@@ -65,6 +67,7 @@ struct CliOptions
     long simulate = 0;
     bool csv = false;
     int threads = 1;
+    bool memo = true;
     std::vector<SuiteLoop> loops;
 };
 
@@ -172,6 +175,12 @@ parseArgs(int argc, char **argv)
             const char *text = nextArg(argc, argv, i, arg);
             if (!parseIntInRange(text, 0, 4096, opts.threads))
                 usageError(std::string("bad --threads count ") + text);
+        } else if (!std::strcmp(arg, "--memo")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            int memo = 1;
+            if (!parseIntInRange(text, 0, 1, memo))
+                usageError(std::string("bad --memo value ") + text);
+            opts.memo = memo != 0;
         } else if (arg[0] == '-') {
             usageError(std::string("unknown option ") + arg);
         } else {
@@ -254,7 +263,7 @@ main(int argc, char **argv)
         // Evaluate all loops as one batch on the worker pool, then
         // report serially in input order — the output is byte-identical
         // at any --threads count.
-        SuiteRunner runner(opts.threads);
+        SuiteRunner runner(opts.threads, opts.memo);
         std::vector<BatchJob> jobs(opts.loops.size());
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             jobs[i].loop = int(i);

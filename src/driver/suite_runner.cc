@@ -1,10 +1,6 @@
 #include "driver/suite_runner.hh"
 
-#include <atomic>
-#include <exception>
-#include <memory>
-#include <thread>
-
+#include "sched/fingerprint.hh"
 #include "sched/mii.hh"
 #include "support/diag.hh"
 
@@ -14,79 +10,24 @@ namespace swp
 namespace
 {
 
-/** FNV-1a over the MII-relevant structure of a graph. */
-class Fingerprint
-{
-  public:
-    void
-    mix(std::uint64_t v)
-    {
-        hash_ ^= v;
-        hash_ *= 0x100000001b3ull;
-    }
-
-    void
-    mix(const std::string &s)
-    {
-        mix(std::uint64_t(s.size()));
-        for (const char c : s)
-            mix(std::uint64_t(static_cast<unsigned char>(c)));
-    }
-
-    std::uint64_t value() const { return hash_; }
-
-  private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
 /**
- * Machine identity for the bounds memo. Names are not unique (two
- * Machines can share one), so hash the resource description the MII
- * computation actually depends on.
+ * Depth of pool-task bodies running on this thread. A dispatch issued
+ * from inside a task (nested parallelFor from a job) must run inline:
+ * the pool is busy with the batch that issued it, and waiting for the
+ * dispatch slot would deadlock.
  */
-std::uint64_t
-machineFingerprint(const Machine &m)
-{
-    Fingerprint fp;
-    fp.mix(m.name());
-    fp.mix(std::uint64_t(m.isUniversal()));
-    for (int fu = 0; fu < numFuClasses; ++fu) {
-        fp.mix(std::uint64_t(m.unitsFor(FuClass(fu))));
-        fp.mix(std::uint64_t(m.pipelinedClass(FuClass(fu))));
-    }
-    for (int op = 0; op < numOpcodes; ++op)
-        fp.mix(std::uint64_t(m.latency(Opcode(op))));
-    return fp.value();
-}
+thread_local int tlsInTask = 0;
 
-std::uint64_t
-graphFingerprint(const Ddg &g)
+struct TaskScope
 {
-    Fingerprint fp;
-    fp.mix(g.name());
-    fp.mix(std::uint64_t(g.numNodes()));
-    fp.mix(std::uint64_t(g.numEdges()));
-    fp.mix(std::uint64_t(g.numInvariants()));
-    for (NodeId n = 0; n < g.numNodes(); ++n)
-        fp.mix(std::uint64_t(int(g.node(n).op)));
-    for (EdgeId e = 0; e < g.numEdges(); ++e) {
-        const Edge &edge = g.edge(e);
-        fp.mix(std::uint64_t(edge.alive));
-        if (!edge.alive)
-            continue;
-        fp.mix(std::uint64_t(edge.src));
-        fp.mix(std::uint64_t(edge.dst));
-        fp.mix(std::uint64_t(int(edge.kind)));
-        fp.mix(std::uint64_t(edge.distance));
-        fp.mix(std::uint64_t(edge.nonSpillable));
-        fp.mix(std::uint64_t(edge.fusedDelay));
-    }
-    return fp.value();
-}
+    TaskScope() { ++tlsInTask; }
+    ~TaskScope() { --tlsInTask; }
+};
 
 } // namespace
 
-SuiteRunner::SuiteRunner(int threads)
+SuiteRunner::SuiteRunner(int threads, bool memoizeSchedules)
+    : memoizeSchedules_(memoizeSchedules)
 {
     if (threads <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -96,22 +37,129 @@ SuiteRunner::SuiteRunner(int threads)
     }
 }
 
+SuiteRunner::~SuiteRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+}
+
 SuiteRunner::LoopBounds
 SuiteRunner::bounds(const Ddg &g, const Machine &m)
 {
     const auto key =
         std::make_pair(graphFingerprint(g), machineFingerprint(m));
-    {
-        std::lock_guard<std::mutex> lock(cacheMutex_);
-        const auto it = boundsCache_.find(key);
-        if (it != boundsCache_.end())
-            return it->second;
+    const CachedBounds cached = boundsCache_.getOrCompute(
+        key,
+        [&]() {
+            CachedBounds c;
+            c.b.mii = mii(g, m);
+            c.b.recMii = recMii(g, m);
+            if (kVerifyMemoKeys) {
+                c.graph = g;
+                c.machine = m;
+            }
+            return c;
+        },
+        [&](const CachedBounds &hit) {
+            if (!kVerifyMemoKeys)
+                return;
+            SWP_ASSERT(hit.graph &&
+                           graphsFingerprintEquivalent(g, *hit.graph),
+                       "bounds memo fingerprint collision: graph '",
+                       g.name(),
+                       "' hit an entry built from a different graph");
+            SWP_ASSERT(hit.machine &&
+                           machinesFingerprintEquivalent(m, *hit.machine),
+                       "bounds memo fingerprint collision: machine '",
+                       m.name(),
+                       "' hit an entry built from a different machine");
+        });
+    return cached.b;
+}
+
+void
+SuiteRunner::ensurePool() const
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (!pool_.empty())
+        return;
+    const int spawn = threads_ - 1;
+    pool_.reserve(std::size_t(spawn));
+    for (int t = 0; t < spawn; ++t)
+        pool_.emplace_back([this] { poolMain(); });
+}
+
+/**
+ * Body run by every thread participating in a task (pool threads and
+ * the dispatching caller alike): build per-thread state, then consume
+ * indices from the shared counter until they run out or a job fails.
+ */
+void
+SuiteRunner::runTask(PoolTask &t)
+{
+    // Claim an index before building any per-thread state. This bounds
+    // the participants to `count` (a pool thread waking for a batch
+    // smaller than the pool backs out after one fetch_add instead of
+    // constructing scheduler objects it will never use), and it
+    // protects makeWorker's lifetime: a thread that cannot claim an
+    // index never touches makeWorker — whose captures are locals of the
+    // dispatching caller, which only returns once it has observed
+    // next >= count and activeWorkers_ == 0.
+    if (t.abort.load(std::memory_order_relaxed))
+        return;
+    std::size_t i = t.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= t.count)
+        return;
+    const TaskScope scope;
+    // makeWorker() runs on the worker thread too (it allocates
+    // per-thread state); a throw there must reach the caller, not
+    // std::terminate.
+    Worker fn;
+    try {
+        fn = (*t.makeWorker)();
+    } catch (...) {
+        t.fail();
+        return;
     }
-    LoopBounds b;
-    b.mii = mii(g, m);
-    b.recMii = recMii(g, m);
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    return boundsCache_.emplace(key, b).first->second;
+    for (;;) {
+        if (t.abort.load(std::memory_order_relaxed))
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            t.fail();
+        }
+        i = t.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= t.count)
+            return;
+    }
+}
+
+void
+SuiteRunner::poolMain() const
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    for (;;) {
+        workCv_.wait(lock, [&] { return shutdown_ || taskGen_ != seen; });
+        if (shutdown_)
+            return;
+        seen = taskGen_;
+        const std::shared_ptr<PoolTask> t = task_;
+        if (!t)
+            continue;  // Task already retired; wait for the next one.
+        ++activeWorkers_;
+        lock.unlock();
+        runTask(*t);
+        lock.lock();
+        if (--activeWorkers_ == 0)
+            idleCv_.notify_all();
+    }
 }
 
 void
@@ -120,60 +168,48 @@ SuiteRunner::dispatch(std::size_t count,
 {
     if (count == 0)
         return;
-    const std::size_t workers =
-        std::min<std::size_t>(std::size_t(threads_), count);
-    if (workers <= 1) {
+
+    // Serial path: a single thread, a single job, or a dispatch nested
+    // inside a pool task (which would deadlock waiting for the slot its
+    // own batch holds) runs inline on the calling thread — same
+    // results, no parallel speedup.
+    if (threads_ == 1 || count == 1 || tlsInTask > 0) {
         const Worker fn = makeWorker();
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
     }
 
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> abort{false};
-    std::exception_ptr error;
-    std::mutex errorMutex;
+    // The pool runs one batch at a time; concurrent dispatches from
+    // other threads take turns.
+    const std::lock_guard<std::mutex> slot(dispatchMutex_);
+    ensurePool();
 
-    const auto fail = [&]() {
-        std::lock_guard<std::mutex> lock(errorMutex);
-        if (!error)
-            error = std::current_exception();
-        abort.store(true, std::memory_order_relaxed);
-    };
-    const auto body = [&]() {
-        // makeWorker() runs on the worker thread too (it allocates
-        // per-thread state); a throw there must reach the caller, not
-        // std::terminate.
-        Worker fn;
-        try {
-            fn = makeWorker();
-        } catch (...) {
-            fail();
-            return;
-        }
-        for (;;) {
-            if (abort.load(std::memory_order_relaxed))
-                return;
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                fail();
-            }
-        }
-    };
+    auto task = std::make_shared<PoolTask>();
+    task->count = count;
+    task->makeWorker = &makeWorker;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        task_ = task;
+        ++taskGen_;
+    }
+    workCv_.notify_all();
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-        pool.emplace_back(body);
-    for (std::thread &t : pool)
-        t.join();
-    if (error)
-        std::rethrow_exception(error);
+    runTask(*task);  // The caller is the pool's final worker.
+
+    {
+        // activeWorkers_ is incremented under poolMutex_ before a pool
+        // thread enters runTask, so activeWorkers_ == 0 here means no
+        // participant can still touch makeWorker: any thread waking
+        // later either finds task_ reset, or fails to claim an index
+        // (all are claimed by now) and backs out without calling
+        // makeWorker.
+        std::unique_lock<std::mutex> lock(poolMutex_);
+        idleCv_.wait(lock, [&] { return activeWorkers_ == 0; });
+        task_.reset();
+    }
+    if (task->error)
+        std::rethrow_exception(task->error);
 }
 
 void
@@ -214,6 +250,7 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                 kind == SchedulerKind::Ims ? ims.get() : hrms.get();
             ctx.imsFallback = ims.get();
             ctx.knownMii = b.mii;
+            ctx.memo = memoizeSchedules_ ? &scheduleMemo_ : nullptr;
 
             results[i] =
                 job.ideal

@@ -12,25 +12,42 @@
  * results at any thread count.
  *
  * Per-call costs the serial harnesses used to pay on every job are
- * amortized here: scheduler objects are constructed once per worker
- * thread and reused across all its jobs, and the MII/RecMII of each
- * input loop is memoized per (graph content, machine) across batches —
- * the grid revisits the same 1258 loops dozens of times.
+ * amortized here:
+ *  - worker threads are spawned once and persist across batches (the
+ *    bench harnesses dispatch the same grid dozens of times);
+ *  - scheduler objects are constructed once per worker thread and
+ *    reused across all its jobs;
+ *  - the MII/RecMII of each input loop is memoized per (graph content,
+ *    machine) across batches;
+ *  - every (graph, machine, II, scheduler) probe outcome — including
+ *    "no schedule at this II" — is memoized in a ScheduleMemo shared
+ *    by all workers, so best-of-all's binary search and the grid's
+ *    repeated cells never schedule the same probe twice.
+ * All memos are single-flight (two workers never compute one key) and
+ * none of them changes results: output is byte-identical with the
+ * memos on or off.
  */
 
 #ifndef SWP_DRIVER_SUITE_RUNNER_HH
 #define SWP_DRIVER_SUITE_RUNNER_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "machine/machine.hh"
 #include "pipeliner/pipeliner.hh"
+#include "sched/sched_memo.hh"
+#include "support/singleflight.hh"
 #include "workload/suitegen.hh"
 
 namespace swp
@@ -53,10 +70,20 @@ struct BatchJob
 class SuiteRunner
 {
   public:
-    /** threads == 0 selects the hardware concurrency; 1 runs inline. */
-    explicit SuiteRunner(int threads = 1);
+    /**
+     * threads == 0 selects the hardware concurrency; 1 runs inline.
+     * memoizeSchedules toggles the schedule memo (results are identical
+     * either way; off re-schedules every probe — useful for measuring
+     * the memo's effect and for CI's byte-identical diff).
+     */
+    explicit SuiteRunner(int threads = 1, bool memoizeSchedules = true);
+    ~SuiteRunner();
+
+    SuiteRunner(const SuiteRunner &) = delete;
+    SuiteRunner &operator=(const SuiteRunner &) = delete;
 
     int threads() const { return threads_; }
+    bool memoizesSchedules() const { return memoizeSchedules_; }
 
     /** Memoized lower bounds of one loop under one machine. */
     struct LoopBounds
@@ -69,9 +96,26 @@ class SuiteRunner
      * MII/RecMII of a loop, memoized per (graph content, machine
      * configuration). Safe to call concurrently; both key halves are
      * structural fingerprints, so rebuilt or short-lived graphs and
-     * same-named machines never alias stale entries.
+     * same-named machines never alias stale entries, and the memo is
+     * single-flight: concurrent workers asking for the same key wait
+     * for one computation instead of repeating it.
      */
     LoopBounds bounds(const Ddg &g, const Machine &m);
+
+    /** The shared probe memo (for tests and observability). */
+    ScheduleMemo &scheduleMemo() { return scheduleMemo_; }
+
+    /** Counters of both memos, for tests and tuning. */
+    struct MemoStats
+    {
+        SingleFlightStats bounds;
+        SingleFlightStats schedule;
+    };
+    MemoStats
+    memoStats() const
+    {
+        return {boundsCache_.stats(), scheduleMemo_.stats()};
+    }
 
     /**
      * Evaluate all jobs. results[i] corresponds to jobs[i]; the result
@@ -95,19 +139,72 @@ class SuiteRunner
 
   private:
     /**
-     * Pool skeleton: makeWorker() is invoked once on each worker thread
-     * (to build per-thread state such as scheduler objects); the
+     * Pool skeleton: makeWorker() is invoked once per participating
+     * thread (to build per-thread state such as scheduler objects); the
      * returned callable is then fed indices from a shared counter.
      */
     using Worker = std::function<void(std::size_t)>;
+
+    /** One batch in flight on the persistent pool. */
+    struct PoolTask
+    {
+        std::size_t count = 0;
+        /** Owned by the dispatching caller; valid while it waits. */
+        const std::function<Worker()> *makeWorker = nullptr;
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> abort{false};
+        std::mutex errorMutex;
+        std::exception_ptr error;
+
+        void
+        fail()
+        {
+            {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+            abort.store(true, std::memory_order_relaxed);
+        }
+    };
+
     void dispatch(std::size_t count,
                   const std::function<Worker()> &makeWorker) const;
+    void ensurePool() const;
+    void poolMain() const;
+    static void runTask(PoolTask &t);
 
     int threads_ = 1;
+    bool memoizeSchedules_ = true;
 
-    mutable std::mutex cacheMutex_;
-    std::map<std::pair<std::uint64_t, std::uint64_t>, LoopBounds>
+    /** Bounds memo entry; the graph/machine copies (O(1), CoW) verify
+        memo hits against fingerprint collisions in debug builds. */
+    struct CachedBounds
+    {
+        LoopBounds b;
+        std::optional<Ddg> graph;
+        std::optional<Machine> machine;
+    };
+    SingleFlightCache<std::pair<std::uint64_t, std::uint64_t>,
+                      CachedBounds>
         boundsCache_;
+
+    ScheduleMemo scheduleMemo_;
+
+    /** @name Persistent worker pool (threads_ - 1 threads; the
+        dispatching caller is the final worker). Spawned on first
+        parallel dispatch, joined in the destructor. */
+    /// @{
+    mutable std::mutex dispatchMutex_;  ///< One batch in flight at once.
+    mutable std::mutex poolMutex_;
+    mutable std::condition_variable workCv_;  ///< New task or shutdown.
+    mutable std::condition_variable idleCv_;  ///< activeWorkers_ -> 0.
+    mutable std::vector<std::thread> pool_;
+    mutable std::shared_ptr<PoolTask> task_;
+    mutable std::uint64_t taskGen_ = 0;
+    mutable int activeWorkers_ = 0;
+    mutable bool shutdown_ = false;
+    /// @}
 };
 
 } // namespace swp

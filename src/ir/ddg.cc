@@ -10,16 +10,17 @@ namespace swp
 NodeId
 Ddg::addNode(Opcode op, std::string name, NodeOrigin origin)
 {
-    const NodeId id = NodeId(nodes_.size());
+    Core &core = mut();
+    const NodeId id = NodeId(core.nodes.size());
     Node n;
     n.op = op;
     n.name = name.empty() ? std::string(opcodeName(op)) +
                                 std::to_string(id)
                           : std::move(name);
     n.origin = origin;
-    nodes_.push_back(std::move(n));
-    out_.emplace_back();
-    in_.emplace_back();
+    core.nodes.push_back(std::move(n));
+    core.out.emplace_back();
+    core.in.emplace_back();
     return id;
 }
 
@@ -31,30 +32,32 @@ Ddg::addEdge(NodeId src, NodeId dst, DepKind kind, int distance,
     SWP_ASSERT(dst >= 0 && dst < numNodes(), "bad edge target ", dst);
     SWP_ASSERT(distance >= 0, "negative dependence distance ", distance);
     if (kind == DepKind::RegFlow) {
-        SWP_ASSERT(producesValue(nodes_[std::size_t(src)].op),
+        SWP_ASSERT(producesValue(node(src).op),
                    "register flow edge from non-producing node ",
-                   nodes_[std::size_t(src)].name);
+                   node(src).name);
     }
-    const EdgeId id = EdgeId(edges_.size());
+    Core &core = mut();
+    const EdgeId id = EdgeId(core.edges.size());
     Edge e;
     e.src = src;
     e.dst = dst;
     e.kind = kind;
     e.distance = distance;
     e.nonSpillable = non_spillable;
-    edges_.push_back(e);
-    out_[std::size_t(src)].push_back(id);
-    in_[std::size_t(dst)].push_back(id);
+    core.edges.push_back(e);
+    core.out[std::size_t(src)].push_back(id);
+    core.in[std::size_t(dst)].push_back(id);
     return id;
 }
 
 InvId
 Ddg::addInvariant(std::string name)
 {
-    const InvId id = InvId(invariants_.size());
+    Core &core = mut();
+    const InvId id = InvId(core.invariants.size());
     Invariant inv;
     inv.name = name.empty() ? "inv" + std::to_string(id) : std::move(name);
-    invariants_.push_back(std::move(inv));
+    core.invariants.push_back(std::move(inv));
     return id;
 }
 
@@ -63,23 +66,24 @@ Ddg::addInvariantUse(InvId inv, NodeId node)
 {
     SWP_ASSERT(inv >= 0 && inv < numInvariants(), "bad invariant ", inv);
     SWP_ASSERT(node >= 0 && node < numNodes(), "bad node ", node);
-    invariants_[std::size_t(inv)].consumers.push_back(node);
-    nodes_[std::size_t(node)].invariantUses.push_back(inv);
+    Core &core = mut();
+    core.invariants[std::size_t(inv)].consumers.push_back(node);
+    core.nodes[std::size_t(node)].invariantUses.push_back(inv);
 }
 
 void
 Ddg::killEdge(EdgeId e)
 {
     SWP_ASSERT(e >= 0 && e < numEdges(), "bad edge id ", e);
-    edges_[std::size_t(e)].alive = false;
+    mut().edges[std::size_t(e)].alive = false;
 }
 
 std::vector<EdgeId>
 Ddg::outEdges(NodeId n) const
 {
     std::vector<EdgeId> live;
-    for (EdgeId e : out_[std::size_t(n)]) {
-        if (edges_[std::size_t(e)].alive)
+    for (EdgeId e : core_->out[std::size_t(n)]) {
+        if (core_->edges[std::size_t(e)].alive)
             live.push_back(e);
     }
     return live;
@@ -89,8 +93,8 @@ std::vector<EdgeId>
 Ddg::inEdges(NodeId n) const
 {
     std::vector<EdgeId> live;
-    for (EdgeId e : in_[std::size_t(n)]) {
-        if (edges_[std::size_t(e)].alive)
+    for (EdgeId e : core_->in[std::size_t(n)]) {
+        if (core_->edges[std::size_t(e)].alive)
             live.push_back(e);
     }
     return live;
@@ -100,8 +104,8 @@ std::vector<EdgeId>
 Ddg::valueUses(NodeId n) const
 {
     std::vector<EdgeId> uses;
-    for (EdgeId e : out_[std::size_t(n)]) {
-        const Edge &edge = edges_[std::size_t(e)];
+    for (EdgeId e : core_->out[std::size_t(n)]) {
+        const Edge &edge = core_->edges[std::size_t(e)];
         if (edge.alive && edge.kind == DepKind::RegFlow)
             uses.push_back(e);
     }
@@ -112,8 +116,8 @@ int
 Ddg::numValueUses(NodeId n) const
 {
     int count = 0;
-    for (EdgeId e : out_[std::size_t(n)]) {
-        const Edge &edge = edges_[std::size_t(e)];
+    for (EdgeId e : core_->out[std::size_t(n)]) {
+        const Edge &edge = core_->edges[std::size_t(e)];
         if (edge.alive && edge.kind == DepKind::RegFlow)
             ++count;
     }
@@ -124,7 +128,7 @@ int
 Ddg::numLiveInvariants() const
 {
     int count = 0;
-    for (const Invariant &inv : invariants_) {
+    for (const Invariant &inv : core_->invariants) {
         if (!inv.spilled)
             ++count;
     }
@@ -135,7 +139,7 @@ int
 Ddg::countOrigin(NodeOrigin origin) const
 {
     int count = 0;
-    for (const Node &n : nodes_) {
+    for (const Node &n : core_->nodes) {
         if (n.origin == origin)
             ++count;
     }
@@ -146,7 +150,7 @@ int
 Ddg::numMemOps() const
 {
     int count = 0;
-    for (const Node &n : nodes_) {
+    for (const Node &n : core_->nodes) {
         if (n.op == Opcode::Load || n.op == Opcode::Store)
             ++count;
     }
@@ -157,10 +161,10 @@ std::string
 Ddg::dump() const
 {
     std::ostringstream os;
-    os << "ddg " << name_ << " (" << numNodes() << " nodes, "
+    os << "ddg " << name() << " (" << numNodes() << " nodes, "
        << numInvariants() << " invariants)\n";
     for (NodeId n = 0; n < numNodes(); ++n) {
-        const Node &node = nodes_[std::size_t(n)];
+        const Node &node = core_->nodes[std::size_t(n)];
         os << "  n" << n << " " << node.name << " ["
            << opcodeName(node.op) << "]";
         if (node.origin == NodeOrigin::SpillLoad)
@@ -171,7 +175,7 @@ Ddg::dump() const
             os << " (non-spillable)";
         os << "\n";
         for (EdgeId e : outEdges(n)) {
-            const Edge &edge = edges_[std::size_t(e)];
+            const Edge &edge = core_->edges[std::size_t(e)];
             os << "    -> n" << edge.dst << " ("
                << (edge.kind == DepKind::RegFlow
                        ? "reg"
@@ -181,7 +185,7 @@ Ddg::dump() const
         }
     }
     for (InvId i = 0; i < numInvariants(); ++i) {
-        const Invariant &inv = invariants_[std::size_t(i)];
+        const Invariant &inv = core_->invariants[std::size_t(i)];
         os << "  inv" << i << " " << inv.name << " uses="
            << inv.consumers.size() << (inv.spilled ? " (spilled)" : "")
            << "\n";

@@ -18,6 +18,9 @@
 #ifndef SWP_IR_DDG_HH
 #define SWP_IR_DDG_HH
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +28,11 @@
 
 namespace swp
 {
+
+class Ddg;
+
+/** Defined in sched/fingerprint.cc; befriended for its cache slot. */
+std::uint64_t graphFingerprint(const Ddg &g);
 
 using NodeId = int;
 using EdgeId = int;
@@ -128,18 +136,59 @@ struct Invariant
 };
 
 /**
- * A mutable data dependence graph.
+ * A mutable data dependence graph with copy-on-write storage.
  *
  * Node ids are dense and stable. Edges may be killed (spilling) and new
  * edges/nodes appended; adjacency lists are maintained incrementally.
+ *
+ * Copying a Ddg is O(1): the copy shares the source's immutable storage
+ * and the first mutation through either handle detaches it (clones the
+ * storage). This makes the spill driver's working copy and result
+ * snapshots free for the no-spill majority of evaluation jobs. The
+ * usual copy-on-write contract applies: a shared core is never written
+ * (so concurrent const access through distinct handles is safe, and
+ * distinct handles may be mutated from distinct threads — each detaches
+ * first), and references returned by the non-const accessors are
+ * invalidated by the next copy-from or structural mutation, exactly
+ * like vector iterators.
  */
 class Ddg
 {
   public:
-    explicit Ddg(std::string name = "loop") : name_(std::move(name)) {}
+    explicit Ddg(std::string name = "loop")
+        : core_(std::make_shared<Core>())
+    {
+        core_->name = std::move(name);
+    }
 
-    const std::string &name() const { return name_; }
-    void setName(std::string n) { name_ = std::move(n); }
+    Ddg(const Ddg &) = default;
+    Ddg &operator=(const Ddg &) = default;
+
+    /** Moved-from graphs stay valid (empty), as before copy-on-write:
+        a null core would turn every accessor into a null dereference. */
+    Ddg(Ddg &&o) : core_(std::move(o.core_))
+    {
+        o.core_ = std::make_shared<Core>();
+    }
+
+    Ddg &
+    operator=(Ddg &&o)
+    {
+        if (this != &o) {
+            core_ = std::move(o.core_);
+            o.core_ = std::make_shared<Core>();
+        }
+        return *this;
+    }
+
+    const std::string &name() const { return core_->name; }
+    void setName(std::string n) { mut().name = std::move(n); }
+
+    /**
+     * True when both handles share one storage core (they compare equal
+     * and reads alias). Cleared by the first mutation on either side.
+     */
+    bool sharesStorageWith(const Ddg &o) const { return core_ == o.core_; }
 
     /** @name Construction */
     /// @{
@@ -156,19 +205,19 @@ class Ddg
 
     /** @name Accessors */
     /// @{
-    int numNodes() const { return int(nodes_.size()); }
-    int numEdges() const { return int(edges_.size()); }
-    int numInvariants() const { return int(invariants_.size()); }
+    int numNodes() const { return int(core_->nodes.size()); }
+    int numEdges() const { return int(core_->edges.size()); }
+    int numInvariants() const { return int(core_->invariants.size()); }
 
-    Node &node(NodeId n) { return nodes_[std::size_t(n)]; }
-    const Node &node(NodeId n) const { return nodes_[std::size_t(n)]; }
-    Edge &edge(EdgeId e) { return edges_[std::size_t(e)]; }
-    const Edge &edge(EdgeId e) const { return edges_[std::size_t(e)]; }
-    Invariant &invariant(InvId i) { return invariants_[std::size_t(i)]; }
+    Node &node(NodeId n) { return mut().nodes[std::size_t(n)]; }
+    const Node &node(NodeId n) const { return core_->nodes[std::size_t(n)]; }
+    Edge &edge(EdgeId e) { return mut().edges[std::size_t(e)]; }
+    const Edge &edge(EdgeId e) const { return core_->edges[std::size_t(e)]; }
+    Invariant &invariant(InvId i) { return mut().invariants[std::size_t(i)]; }
     const Invariant &
     invariant(InvId i) const
     {
-        return invariants_[std::size_t(i)];
+        return core_->invariants[std::size_t(i)];
     }
 
     /** Live out-edge ids of a node. */
@@ -196,12 +245,57 @@ class Ddg
     std::string dump() const;
 
   private:
-    std::string name_;
-    std::vector<Node> nodes_;
-    std::vector<Edge> edges_;
-    std::vector<Invariant> invariants_;
-    std::vector<std::vector<EdgeId>> out_;  ///< Includes dead edges.
-    std::vector<std::vector<EdgeId>> in_;   ///< Includes dead edges.
+    /** The shared storage; immutable while more than one handle holds it. */
+    struct Core
+    {
+        Core() = default;
+        /** Clones carry the fingerprint: content-identical on copy
+            (mut() invalidates before the cloner's write lands). */
+        Core(const Core &o)
+            : name(o.name), nodes(o.nodes), edges(o.edges),
+              invariants(o.invariants), out(o.out), in(o.in),
+              cachedFp(o.cachedFp.load(std::memory_order_relaxed))
+        {
+        }
+        Core &operator=(const Core &) = delete;
+
+        std::string name;
+        std::vector<Node> nodes;
+        std::vector<Edge> edges;
+        std::vector<Invariant> invariants;
+        std::vector<std::vector<EdgeId>> out;  ///< Includes dead edges.
+        std::vector<std::vector<EdgeId>> in;   ///< Includes dead edges.
+
+        /**
+         * Memoized graphFingerprint of this core (0 = not computed).
+         * mut() intercepts every mutation and resets it, so the memos'
+         * per-probe fingerprinting is O(1) for an unchanged graph.
+         * Mutating through a reference held across other Ddg calls
+         * bypasses this (and the detach) — don't.
+         */
+        mutable std::atomic<std::uint64_t> cachedFp{0};
+    };
+
+    /** Detach-on-mutate: clone the core iff another handle shares it. */
+    Core &
+    mut()
+    {
+        if (core_.use_count() > 1) {
+            core_ = std::make_shared<Core>(*core_);
+        } else {
+            // Pairs with the release decrement of the last other
+            // owner's shared_ptr: its reads of this core (e.g. the
+            // clone it took while detaching on another thread) happen
+            // before the in-place writes that follow.
+            std::atomic_thread_fence(std::memory_order_acquire);
+        }
+        core_->cachedFp.store(0, std::memory_order_relaxed);
+        return *core_;
+    }
+
+    friend std::uint64_t graphFingerprint(const Ddg &);
+
+    std::shared_ptr<Core> core_;
 };
 
 } // namespace swp

@@ -52,7 +52,7 @@ bestOfAllStrategy(const Ddg &g, const Machine &m,
         return spill;
     }
 
-    std::unique_ptr<ModuloScheduler> schedStorage;
+    SchedulerStorage schedStorage;
     ModuloScheduler &scheduler =
         resolveScheduler(ctx, opts.scheduler, schedStorage);
     int attempts = spill.attempts;
@@ -91,7 +91,10 @@ bestOfAllStrategy(const Ddg &g, const Machine &m,
     result.alloc = std::move(best.alloc);
     result.mii = lower;
     result.spilledLifetimes = 0;
-    result.rounds = spill.rounds;
+    // The returned schedule is a direct schedule of the untransformed
+    // loop: one scheduling round, zero spill rounds — not the discarded
+    // spill run's count.
+    result.rounds = 1;
     result.attempts = attempts;
     return result;
 }

@@ -5,10 +5,12 @@
  * One (loop, strategy, options) evaluation is cheap to set up but the
  * experiment grids of the paper run hundreds of thousands of them, so
  * the batch driver (src/driver) amortizes the per-call costs: scheduler
- * objects are constructed once per worker thread and the MII/RecMII of
- * each input loop is memoized per machine. The strategies accept an
- * optional EvalContext carrying those shared pieces; without one they
- * behave exactly as before (build their own scheduler, compute MII).
+ * objects are constructed once per worker thread, the MII/RecMII of
+ * each input loop is memoized per machine, and whole (graph, machine,
+ * II, scheduler) probe outcomes are memoized in a ScheduleMemo. The
+ * strategies accept an optional EvalContext carrying those shared
+ * pieces; without one they behave exactly as before (build their own
+ * scheduler, compute MII, schedule every probe).
  */
 
 #ifndef SWP_PIPELINER_CONTEXT_HH
@@ -17,6 +19,7 @@
 #include <memory>
 
 #include "sched/mii.hh"
+#include "sched/sched_memo.hh"
 #include "sched/scheduler.hh"
 
 namespace swp
@@ -36,30 +39,67 @@ struct EvalContext
 
     /** Memoized mii(g, m) of the *input* graph; -1 = not known. */
     int knownMii = -1;
+
+    /**
+     * When set, every scheduleAt probe of the strategy drivers is
+     * routed through this memo (see resolveScheduler), so repeated
+     * (graph, machine, II, scheduler) probes — within one evaluation,
+     * e.g. best-of-all's binary search over IIs the spill rounds
+     * already tried, and across the whole grid — are scheduled once.
+     * Results are identical with or without it; only the work changes.
+     */
+    ScheduleMemo *memo = nullptr;
 };
 
-/** The context's scheduler, or a lazily-built one kept in `storage`. */
-inline ModuloScheduler &
-resolveScheduler(const EvalContext *ctx, SchedulerKind kind,
-                 std::unique_ptr<ModuloScheduler> &storage)
+/**
+ * Per-evaluation scheduler storage for the resolve* helpers: the
+ * lazily-built core scheduler (when the context does not provide one)
+ * and the memoizing adapter wrapped around whichever core is used.
+ */
+struct SchedulerStorage
 {
-    if (ctx && ctx->scheduler)
-        return *ctx->scheduler;
-    if (!storage)
-        storage = makeScheduler(kind);
-    return *storage;
+    std::unique_ptr<ModuloScheduler> base;
+    std::unique_ptr<MemoizedScheduler> memoized;
+};
+
+/**
+ * Shared resolution: the context-provided scheduler (or a lazily-built
+ * `kind` instance kept in `storage`), wrapped in the context's
+ * ScheduleMemo when one is present.
+ */
+inline ModuloScheduler &
+resolveWithMemo(const EvalContext *ctx, ModuloScheduler *fromCtx,
+                SchedulerKind kind, SchedulerStorage &storage)
+{
+    ModuloScheduler *core = fromCtx;
+    if (!core) {
+        if (!storage.base)
+            storage.base = makeScheduler(kind);
+        core = storage.base.get();
+    }
+    if (ctx && ctx->memo) {
+        storage.memoized =
+            std::make_unique<MemoizedScheduler>(*ctx->memo, *core, kind);
+        return *storage.memoized;
+    }
+    return *core;
 }
 
-/** The context's IMS fallback, or a lazily-built one kept in `storage`. */
+/** The scheduler every probe of this evaluation should go through. */
 inline ModuloScheduler &
-resolveImsFallback(const EvalContext *ctx,
-                   std::unique_ptr<ModuloScheduler> &storage)
+resolveScheduler(const EvalContext *ctx, SchedulerKind kind,
+                 SchedulerStorage &storage)
 {
-    if (ctx && ctx->imsFallback)
-        return *ctx->imsFallback;
-    if (!storage)
-        storage = makeScheduler(SchedulerKind::Ims);
-    return *storage;
+    return resolveWithMemo(ctx, ctx ? ctx->scheduler : nullptr, kind,
+                           storage);
+}
+
+/** The context's IMS fallback (memo-wrapped like resolveScheduler). */
+inline ModuloScheduler &
+resolveImsFallback(const EvalContext *ctx, SchedulerStorage &storage)
+{
+    return resolveWithMemo(ctx, ctx ? ctx->imsFallback : nullptr,
+                           SchedulerKind::Ims, storage);
 }
 
 /** The memoized MII of the input graph, or compute it. */

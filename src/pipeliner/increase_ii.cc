@@ -18,7 +18,7 @@ increaseIiStrategy(const Ddg &g, const Machine &m,
     result.bindInputGraph(g);
     result.mii = resolveMii(ctx, g, m);
 
-    std::unique_ptr<ModuloScheduler> schedStorage;
+    SchedulerStorage schedStorage;
     ModuloScheduler &scheduler =
         resolveScheduler(ctx, opts.scheduler, schedStorage);
 
@@ -56,7 +56,7 @@ int
 registersAtIi(const Ddg &g, const Machine &m, int ii,
               const PipelinerOptions &opts, const EvalContext *ctx)
 {
-    std::unique_ptr<ModuloScheduler> schedStorage, imsStorage;
+    SchedulerStorage schedStorage, imsStorage;
     ModuloScheduler &scheduler =
         resolveScheduler(ctx, opts.scheduler, schedStorage);
     auto sched = scheduler.scheduleAt(g, m, ii);

@@ -45,7 +45,7 @@ pipelineIdeal(const Ddg &g, const Machine &m, SchedulerKind kind,
     result.bindInputGraph(g);
     result.mii = resolveMii(ctx, g, m);
 
-    std::unique_ptr<ModuloScheduler> schedStorage, imsStorage;
+    SchedulerStorage schedStorage, imsStorage;
     ModuloScheduler &scheduler = resolveScheduler(ctx, kind, schedStorage);
     IiSearchResult search = searchIi(scheduler, g, m, result.mii);
     result.attempts = search.attempts;

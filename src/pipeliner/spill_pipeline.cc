@@ -21,7 +21,7 @@ spillStrategy(const Ddg &g, const Machine &m, const PipelinerOptions &opts,
     PipelineResult result;
     result.strategy = "spill";
 
-    std::unique_ptr<ModuloScheduler> schedStorage, imsStorage;
+    SchedulerStorage schedStorage, imsStorage;
     ModuloScheduler &scheduler =
         resolveScheduler(ctx, opts.scheduler, schedStorage);
 

@@ -1,6 +1,7 @@
 #include "regalloc/rotalloc.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/diag.hh"
 #include "support/strutil.hh"
@@ -190,7 +191,15 @@ allocateLoop(const Ddg &g, const Schedule &sched, int budget,
     // Both orderings are cheap next to scheduling; take whichever packs
     // tighter (adjacency is Rau's reference ordering, descending length
     // often wins on fan-out-heavy lifetimes).
-    const int cap = std::max({budget * 4, info.maxLive + 64, 64});
+    // budget * 4 would overflow for the effectively unlimited budget of
+    // ideal runs (INT_MAX / 2); such budgets never bind the search —
+    // maxLive + 64 keeps it viable — so the term applies only when
+    // representable.
+    const int maxScalableBudget = std::numeric_limits<int>::max() / 4;
+    const int cap =
+        budget > maxScalableBudget
+            ? std::max(info.maxLive + 64, 64)
+            : std::max({budget * 4, info.maxLive + 64, 64});
     AllocOrder order = AllocOrder::Adjacency;
     outcome.rotating = minRotatingRegs(info, strategy, order, cap);
     const int byLength = minRotatingRegs(

@@ -1,0 +1,43 @@
+#include "sched/sched_memo.hh"
+
+#include "sched/fingerprint.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+
+std::optional<Schedule>
+ScheduleMemo::scheduleAt(ModuloScheduler &inner, SchedulerKind kind,
+                         const Ddg &g, const Machine &m, int ii)
+{
+    const Key key{graphFingerprint(g), machineFingerprint(m), ii,
+                  int(kind)};
+    CachedProbe probe = cache_.getOrCompute(
+        key,
+        [&]() {
+            CachedProbe p;
+            p.sched = inner.scheduleAt(g, m, ii);
+            if (verifyKeys_) {
+                p.graph = g;
+                p.machine = m;
+            }
+            return p;
+        },
+        [&](const CachedProbe &hit) {
+            if (!verifyKeys_)
+                return;
+            SWP_ASSERT(hit.graph &&
+                           graphsFingerprintEquivalent(g, *hit.graph),
+                       "schedule memo fingerprint collision: graph '",
+                       g.name(), "' at II ", ii,
+                       " hit an entry built from a different graph");
+            SWP_ASSERT(hit.machine &&
+                           machinesFingerprintEquivalent(m, *hit.machine),
+                       "schedule memo fingerprint collision: machine '",
+                       m.name(), "' hit an entry built from a different",
+                       " machine");
+        });
+    return std::move(probe.sched);
+}
+
+} // namespace swp

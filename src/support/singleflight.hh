@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A thread-safe memo cache with single-flight computation.
+ *
+ * The batch driver's memos (MII/RecMII bounds, schedule probes) are hit
+ * by every worker of the pool. A plain check-compute-insert memo lets
+ * two workers race to compute the same key — both pay the (expensive)
+ * computation and one insert silently wins. This cache arbitrates at
+ * insertion time instead: exactly one caller computes each key while
+ * the others block on that entry, so duplicate computation is
+ * structurally impossible. The stats() counters expose that guarantee
+ * to the tests (computes == entries always).
+ */
+
+#ifndef SWP_SUPPORT_SINGLEFLIGHT_HH
+#define SWP_SUPPORT_SINGLEFLIGHT_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace swp
+{
+
+/** Observability counters of a SingleFlightCache. */
+struct SingleFlightStats
+{
+    /** Total lookups. */
+    long requests = 0;
+    /** Computations actually run (failed ones included). */
+    long computes = 0;
+    /** Distinct keys cached; computes - entries counts duplicates. */
+    long entries = 0;
+};
+
+/**
+ * Map from Key to Value where each key's value is computed exactly
+ * once, by the first requester; concurrent requesters for the same key
+ * wait for that computation instead of repeating it.
+ */
+template <typename Key, typename Value>
+class SingleFlightCache
+{
+  public:
+    using Stats = SingleFlightStats;
+
+    /**
+     * The cached value for key; when absent, compute() fills it. The
+     * first requester of a key runs compute() (without holding the map
+     * lock); later requesters get the cached copy, after onHit(value)
+     * — the hook where callers verify the hit (e.g. a debug key
+     * collision check). A compute() exception propagates to every
+     * caller waiting on the entry and the key is dropped, so a later
+     * request retries.
+     */
+    template <typename Compute, typename OnHit>
+    Value
+    getOrCompute(const Key &key, Compute &&compute, OnHit &&onHit)
+    {
+        std::shared_ptr<Entry> entry;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++requests_;
+            std::shared_ptr<Entry> &slot = map_[key];
+            if (!slot) {
+                slot = std::make_shared<Entry>();
+                owner = true;
+            }
+            entry = slot;
+        }
+
+        if (owner) {
+            Value value{};
+            std::exception_ptr error;
+            try {
+                value = compute();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(entry->m);
+                entry->value = std::move(value);
+                entry->error = error;
+                entry->done = true;
+            }
+            entry->cv.notify_all();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++computes_;
+                if (error)
+                    map_.erase(key);
+            }
+            if (error)
+                std::rethrow_exception(error);
+            return entry->value;
+        }
+
+        std::unique_lock<std::mutex> lock(entry->m);
+        entry->cv.wait(lock, [&] { return entry->done; });
+        if (entry->error)
+            std::rethrow_exception(entry->error);
+        onHit(static_cast<const Value &>(entry->value));
+        return entry->value;
+    }
+
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return {requests_, computes_, long(map_.size())};
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        Value value{};
+        std::exception_ptr error;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<Entry>> map_;
+    long requests_ = 0;
+    long computes_ = 0;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_SINGLEFLIGHT_HH

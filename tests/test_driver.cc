@@ -1,15 +1,18 @@
 /**
  * @file
  * Batch driver tests: deterministic results at any thread count on the
- * pinned-seed suite, the MII/RecMII memo, and the parallel-for
- * primitive.
+ * pinned-seed suite — with the schedule memo on or off — the
+ * single-flight MII/RecMII and schedule memos, the persistent worker
+ * pool, and the parallel-for primitive.
  */
 
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "driver/suite_runner.hh"
+#include "sched/fingerprint.hh"
 #include "sched/mii.hh"
 #include "workload/suitegen.hh"
 
@@ -50,6 +53,14 @@ mixedGrid(std::size_t loops)
         ideal.loop = int(i);
         ideal.ideal = true;
         jobs.push_back(ideal);
+
+        BatchJob best;
+        best.loop = int(i);
+        best.strategy = Strategy::BestOfAll;
+        best.options.registers = 16;
+        best.options.multiSelect = true;
+        best.options.reuseLastIi = true;
+        jobs.push_back(best);
     }
     return jobs;
 }
@@ -155,6 +166,159 @@ TEST(SuiteRunner, BoundsDistinguishSameNamedMachines)
     EXPECT_EQ(runner.bounds(g, wide).mii, mii(g, wide));
     EXPECT_EQ(runner.bounds(g, narrow).mii, mii(g, narrow));
     EXPECT_GT(runner.bounds(g, narrow).mii, runner.bounds(g, wide).mii);
+}
+
+TEST(SuiteRunner, ScheduleMemoOnOffAndThreadCountsAllAgree)
+{
+    // The schedule memo changes the work, never the answer: every
+    // combination of memo on/off and 1/N threads yields bit-identical
+    // results.
+    const std::vector<SuiteLoop> suite = testSuite(16);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner memoSerial(1, true);
+    SuiteRunner memoPooled(4, true);
+    SuiteRunner plainSerial(1, false);
+    SuiteRunner plainPooled(4, false);
+
+    const auto a = memoSerial.run(suite, m, jobs);
+    const auto b = memoPooled.run(suite, m, jobs);
+    const auto c = plainSerial.run(suite, m, jobs);
+    const auto d = plainPooled.run(suite, m, jobs);
+    ASSERT_EQ(a.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expectIdenticalResults(a[i], b[i], i);
+        expectIdenticalResults(a[i], c[i], i);
+        expectIdenticalResults(a[i], d[i], i);
+    }
+
+    // The memoized runners actually used the memo; the plain ones never
+    // touched it.
+    EXPECT_GT(memoSerial.memoStats().schedule.requests, 0);
+    EXPECT_GT(memoPooled.memoStats().schedule.requests, 0);
+    EXPECT_EQ(plainSerial.memoStats().schedule.requests, 0);
+    EXPECT_EQ(plainPooled.memoStats().schedule.requests, 0);
+}
+
+TEST(SuiteRunner, ScheduleMemoEliminatesReworkAcrossBatches)
+{
+    // A second pass over the same grid must hit the memo on every
+    // probe: zero new scheduler computations.
+    const std::vector<SuiteLoop> suite = testSuite(10);
+    const Machine m = Machine::p1l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner runner(3);
+    const auto first = runner.run(suite, m, jobs);
+    const auto statsAfterFirst = runner.memoStats();
+    EXPECT_GT(statsAfterFirst.schedule.computes, 0);
+    EXPECT_LT(statsAfterFirst.schedule.computes,
+              statsAfterFirst.schedule.requests)
+        << "the grid itself repeats probes (best-of-all, ideal/spill "
+           "overlap) that the memo must serve from cache";
+
+    const auto second = runner.run(suite, m, jobs);
+    const auto statsAfterSecond = runner.memoStats();
+    EXPECT_EQ(statsAfterSecond.schedule.computes,
+              statsAfterFirst.schedule.computes)
+        << "re-running an identical batch scheduled something again";
+    EXPECT_GT(statsAfterSecond.schedule.requests,
+              statsAfterFirst.schedule.requests);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectIdenticalResults(first[i], second[i], i);
+}
+
+TEST(SuiteRunner, MemosAreSingleFlight)
+{
+    // Two workers must never compute the same memo key: the number of
+    // computations equals the number of distinct keys, with all the
+    // rest of the traffic served as hits (duplicate-compute count is
+    // exactly zero).
+    const std::vector<SuiteLoop> suite = testSuite(6);
+    const Machine m = Machine::p2l6();
+    SuiteRunner runner(8);
+
+    runner.parallelFor(48, [&](std::size_t i) {
+        (void)runner.bounds(suite[i % suite.size()].graph, m);
+    });
+    const SingleFlightStats bounds = runner.memoStats().bounds;
+    EXPECT_EQ(bounds.requests, 48);
+    EXPECT_EQ(bounds.entries, long(suite.size()));
+    EXPECT_EQ(bounds.computes - bounds.entries, 0)
+        << "two workers raced to compute one key's MII/RecMII";
+
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+    (void)runner.run(suite, m, jobs);
+    const SingleFlightStats sched = runner.memoStats().schedule;
+    EXPECT_GT(sched.requests, 0);
+    EXPECT_EQ(sched.computes - sched.entries, 0)
+        << "two workers raced to schedule one probe";
+}
+
+TEST(SuiteRunner, PoolSurvivesAFailedBatchAndRunsAgain)
+{
+    // The persistent pool must come back clean after a batch whose jobs
+    // throw: the next dispatch reuses the same threads and completes.
+    SuiteRunner runner(4);
+    EXPECT_THROW(runner.parallelFor(64,
+                                    [](std::size_t i) {
+                                        if (i % 7 == 3)
+                                            throw std::runtime_error("x");
+                                    }),
+                 std::runtime_error);
+
+    std::vector<int> hits(500, 0);
+    runner.parallelFor(hits.size(),
+                       [&](std::size_t i) { hits[i] += int(i) + 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], int(i) + 1) << i;
+}
+
+TEST(SuiteRunner, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    // A job that itself calls parallelFor on the same runner must not
+    // deadlock waiting for the pool its own batch occupies.
+    SuiteRunner runner(4);
+    std::vector<int> outer(16, 0);
+    runner.parallelFor(outer.size(), [&](std::size_t i) {
+        int inner = 0;
+        runner.parallelFor(8, [&](std::size_t) { ++inner; });
+        outer[i] = inner;
+    });
+    for (std::size_t i = 0; i < outer.size(); ++i)
+        EXPECT_EQ(outer[i], 8) << i;
+}
+
+TEST(Fingerprint, EquivalenceMatchesFingerprintCoverage)
+{
+    // The debug collision check compares exactly the structure the
+    // fingerprints hash: scheduling-relevant differences break
+    // equivalence, irrelevant ones (node names) do not.
+    const std::vector<SuiteLoop> suite = testSuite(2);
+    const Ddg &a = suite[0].graph;
+    EXPECT_TRUE(graphsFingerprintEquivalent(a, a));
+
+    Ddg sameStructure = a;
+    sameStructure.node(0).name = "renamed";  // Detaches the CoW copy.
+    EXPECT_FALSE(sameStructure.sharesStorageWith(a));
+    EXPECT_TRUE(graphsFingerprintEquivalent(a, sameStructure));
+    EXPECT_EQ(graphFingerprint(a), graphFingerprint(sameStructure));
+
+    Ddg changedDistance = a;
+    changedDistance.edge(0).distance += 1;
+    EXPECT_FALSE(graphsFingerprintEquivalent(a, changedDistance));
+    EXPECT_NE(graphFingerprint(a), graphFingerprint(changedDistance));
+
+    EXPECT_FALSE(graphsFingerprintEquivalent(a, suite[1].graph));
+
+    const Machine p2l4 = Machine::p2l4();
+    EXPECT_TRUE(machinesFingerprintEquivalent(p2l4, Machine::p2l4()));
+    EXPECT_FALSE(machinesFingerprintEquivalent(p2l4, Machine::p2l6()));
+    EXPECT_FALSE(machinesFingerprintEquivalent(
+        Machine::universal("m", 8, 2), Machine::universal("m", 1, 2)));
 }
 
 TEST(SuiteRunner, ParallelForCoversEveryIndexOnce)

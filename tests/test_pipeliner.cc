@@ -8,11 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "ir/builder.hh"
 #include "pipeliner/pipeliner.hh"
+#include "sched/fingerprint.hh"
 #include "sched/mii.hh"
+#include "sched/sched_memo.hh"
 #include "sched/scheduler.hh"
 #include "workload/paper_loops.hh"
 #include "workload/suitegen.hh"
@@ -302,6 +309,158 @@ TEST(Pipeliner, RegistersAtIiUsesTheImsSafetyNet)
 
     PipelinerOptions opts;
     EXPECT_GT(registersAtIi(g, m, lower, opts), 0);
+}
+
+/** A (loop, budget) whose best-of-all outcome is the *unspilled* loop
+    found by the binary search, while the preceding spill run needed
+    multiple rounds (pinned suite seed; verified by preconditions). */
+PipelinerOptions
+binarySearchWinOptions()
+{
+    PipelinerOptions opts;
+    opts.registers = 16;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    opts.heuristic = SpillHeuristic::MaxLTOverTraf;
+    return opts;
+}
+
+Ddg
+binarySearchWinLoop()
+{
+    return generateSuiteLoop(SuiteParams{}, 15).graph;
+}
+
+TEST(Pipeliner, BestOfAllReportsRoundsOfTheReturnedSchedule)
+{
+    // Regression: the no-spill result of the binary search used to copy
+    // `rounds` from the discarded spill run, so a result that spilled
+    // nothing reported multiple spill rounds.
+    const Ddg g = binarySearchWinLoop();
+    const Machine m = Machine::p2l4();
+    const PipelinerOptions opts = binarySearchWinOptions();
+
+    const PipelineResult spill = pipelineLoop(g, m, Strategy::Spill, opts);
+    ASSERT_TRUE(spill.success);
+    ASSERT_GT(spill.spilledLifetimes, 0)
+        << "precondition: the spill run must actually spill";
+    ASSERT_GT(spill.rounds, 1)
+        << "precondition: the spill run must take several rounds";
+
+    const PipelineResult best =
+        pipelineLoop(g, m, Strategy::BestOfAll, opts);
+    ASSERT_TRUE(best.success);
+    ASSERT_EQ(best.spilledLifetimes, 0)
+        << "precondition: the binary search must win with no spilling";
+    EXPECT_LE(best.ii(), spill.ii());
+    EXPECT_EQ(best.rounds, 1)
+        << "a result that spilled nothing reports the discarded spill "
+           "run's rounds";
+}
+
+/** Records every real scheduler invocation as a (graph, II) probe. */
+class CountingScheduler final : public ModuloScheduler
+{
+  public:
+    explicit CountingScheduler(SchedulerKind kind)
+        : inner_(makeScheduler(kind))
+    {
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+    std::optional<Schedule>
+    scheduleAt(const Ddg &g, const Machine &m, int ii) override
+    {
+        probes.emplace_back(graphFingerprint(g), ii);
+        return inner_->scheduleAt(g, m, ii);
+    }
+
+    std::vector<std::pair<std::uint64_t, int>> probes;
+
+  private:
+    std::unique_ptr<ModuloScheduler> inner_;
+};
+
+TEST(Pipeliner, BestOfAllWithMemoNeverReschedulesAProbedIi)
+{
+    const Ddg g = binarySearchWinLoop();
+    const Machine m = Machine::p2l4();
+    const PipelinerOptions opts = binarySearchWinOptions();
+
+    // Without a memo the binary search re-schedules (graph, II) probes
+    // the spill rounds already answered.
+    CountingScheduler plainSched(opts.scheduler);
+    EvalContext plainCtx;
+    plainCtx.scheduler = &plainSched;
+    const PipelineResult plain = bestOfAllStrategy(g, m, opts, &plainCtx);
+    const auto countDuplicates =
+        [](const std::vector<std::pair<std::uint64_t, int>> &probes) {
+            std::set<std::pair<std::uint64_t, int>> seen;
+            int dups = 0;
+            for (const auto &p : probes)
+                dups += !seen.insert(p).second;
+            return dups;
+        };
+    ASSERT_GT(countDuplicates(plainSched.probes), 0)
+        << "precondition: this case must repeat probes without a memo";
+
+    // With the memo every repeated probe is answered from cache: zero
+    // scheduler invocations at IIs already probed.
+    ScheduleMemo memo(/*verifyKeys=*/true);
+    CountingScheduler memoSched(opts.scheduler);
+    EvalContext ctx;
+    ctx.scheduler = &memoSched;
+    ctx.memo = &memo;
+    const PipelineResult r = bestOfAllStrategy(g, m, opts, &ctx);
+
+    EXPECT_EQ(countDuplicates(memoSched.probes), 0)
+        << "the binary search re-scheduled a probe the spill rounds "
+           "already tried";
+    EXPECT_LT(memoSched.probes.size(), plainSched.probes.size());
+
+    // The memo changes the work, never the answer: the `attempts`
+    // compile-effort proxy counts probe *requests* and stays identical,
+    // as does everything else about the result.
+    EXPECT_EQ(r.attempts, plain.attempts);
+    EXPECT_LT(int(memoSched.probes.size()), r.attempts);
+    EXPECT_EQ(r.success, plain.success);
+    EXPECT_EQ(r.ii(), plain.ii());
+    EXPECT_EQ(r.rounds, plain.rounds);
+    EXPECT_EQ(r.spilledLifetimes, plain.spilledLifetimes);
+    EXPECT_EQ(r.alloc.regsRequired, plain.alloc.regsRequired);
+    ASSERT_EQ(r.graph().numNodes(), plain.graph().numNodes());
+    for (NodeId n = 0; n < r.graph().numNodes(); ++n) {
+        EXPECT_EQ(r.sched.time(n), plain.sched.time(n)) << n;
+        EXPECT_EQ(r.sched.unit(n), plain.sched.unit(n)) << n;
+    }
+}
+
+TEST(Pipeliner, SpillStrategyResultsIdenticalWithAndWithoutMemo)
+{
+    const Machine m = Machine::p2l4();
+    PipelinerOptions opts;
+    opts.registers = 24;
+    opts.multiSelect = true;
+    opts.reuseLastIi = true;
+    for (const Ddg &g :
+         {buildApsi47Analogue(), buildApsi50Analogue(),
+          buildPaperExampleLoop()}) {
+        ScheduleMemo memo(/*verifyKeys=*/true);
+        EvalContext ctx;
+        ctx.memo = &memo;
+        const PipelineResult with = spillStrategy(g, m, opts, {}, &ctx);
+        const PipelineResult without = spillStrategy(g, m, opts, {});
+        EXPECT_EQ(with.success, without.success) << g.name();
+        EXPECT_EQ(with.ii(), without.ii()) << g.name();
+        EXPECT_EQ(with.attempts, without.attempts) << g.name();
+        EXPECT_EQ(with.rounds, without.rounds) << g.name();
+        EXPECT_EQ(with.spilledLifetimes, without.spilledLifetimes)
+            << g.name();
+        EXPECT_EQ(with.alloc.regsRequired, without.alloc.regsRequired)
+            << g.name();
+        EXPECT_GT(memo.stats().requests, 0) << g.name();
+    }
 }
 
 TEST(Pipeliner, SpillObserverSeesMonotoneRounds)
