@@ -41,10 +41,15 @@ runAblation(benchmark::State &state)
         std::vector<BatchJob> jobs;
         for (std::size_t i = 0; i < suite.size(); ++i)
             jobs.push_back(variantJob(int(i), Variant::Ideal, 0));
-        const auto results = runner.run(suite, m, jobs);
+        const auto results =
+            runner.run(suite, m, jobs, benchRunOptions());
 
+        // Sharded runs analyze (and below, count) only their own
+        // loops' lifetimes.
         std::vector<LifetimeInfo> infos(suite.size());
         runner.parallelFor(suite.size(), [&](std::size_t i) {
+            if (!ownsJob(i))
+                return;
             infos[i] = analyzeLifetimes(suite[i].graph, results[i].sched);
         });
 
@@ -57,7 +62,10 @@ runAblation(benchmark::State &state)
                  {AllocOrder::Adjacency, AllocOrder::DescendingLength}) {
                 int exact = 0, plus1 = 0, plus2 = 0, more = 0;
                 long extra = 0;
-                for (const LifetimeInfo &info : infos) {
+                for (std::size_t i = 0; i < infos.size(); ++i) {
+                    if (!ownsJob(i))
+                        continue;
+                    const LifetimeInfo &info = infos[i];
                     const int regs = minRotatingRegs(info, fit, order);
                     const int gap = regs - info.maxLive;
                     exact += gap == 0;
@@ -79,14 +87,18 @@ runAblation(benchmark::State &state)
         }
         std::cout << "\nAblation (1): rotating allocation vs the "
                      "MaxLive bound over " << suite.size()
-                  << " unconstrained schedules (P2L4)\n";
+                  << " unconstrained schedules (P2L4"
+                  << shardSuffix() << ")\n";
         strat.print(std::cout);
         recordTable("packing_vs_maxlive", strat);
 
         // MVE vs rotating.
         long rotTotal = 0, mveTotal = 0, mveWorse = 0;
         int maxGap = 0;
-        for (const LifetimeInfo &info : infos) {
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+            if (!ownsJob(i))
+                continue;
+            const LifetimeInfo &info = infos[i];
             const int rot = minRotatingRegs(info);
             const int mve = allocateMve(info).registers;
             rotTotal += rot;
@@ -96,11 +108,15 @@ runAblation(benchmark::State &state)
         }
         std::cout << "\nAblation (2): rotating file vs modulo variable "
                      "expansion\n";
+        // rotTotal is 0 when this shard owns no loops; print +0.0%
+        // rather than a 0/0 NaN.
         std::cout << strprintf(
             "total rotating regs: %ld, total MVE regs: %ld (+%.1f%%); "
             "MVE needs more on %ld loops (worst gap %d regs)\n",
             rotTotal, mveTotal,
-            100.0 * double(mveTotal - rotTotal) / double(rotTotal),
+            rotTotal ? 100.0 * double(mveTotal - rotTotal) /
+                           double(rotTotal)
+                     : 0.0,
             mveWorse, maxGap);
         recordMetric("rotating_regs_total", double(rotTotal));
         recordMetric("mve_regs_total", double(mveTotal));

@@ -43,8 +43,12 @@ runAblation(benchmark::State &state)
             bool hrmsAtMii = false, imsAtMii = false;
             int mlHrms = 0, mlIms = 0, mlImsStaged = 0;
         };
+        // Sharded runs schedule (and tally) only the loops they own;
+        // unowned records keep counted == false.
         std::vector<Record> records(suite.size());
         runner.parallelFor(suite.size(), [&](std::size_t i) {
+            if (!ownsJob(i))
+                return;
             const SuiteLoop &loop = suite[i];
             const int lower = runner.bounds(loop.graph, m).mii;
             auto hrms = makeScheduler(SchedulerKind::Hrms);
@@ -101,7 +105,8 @@ runAblation(benchmark::State &state)
             .add(mlImsStaged);
 
         std::cout << "\nAblation: scheduler register sensitivity ("
-                  << counted << " loops, P2L4, unconstrained)\n";
+                  << counted << " loops, P2L4, unconstrained"
+                  << shardSuffix() << ")\n";
         table.print(std::cout);
         recordTable("register_sensitivity", table);
 
@@ -118,12 +123,15 @@ runAblation(benchmark::State &state)
                 proto.options.multiSelect = true;
                 proto.options.reuseLastIi = true;
                 const auto results =
-                    runner.run(suite, m, protoJobs(suite.size(), proto));
+                    runner.run(suite, m, protoJobs(suite.size(), proto),
+                               benchRunOptions());
 
                 double cycles = 0;
                 long spills = 0;
                 int unfit = 0;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
+                    if (!ownsJob(i))
+                        continue;
                     const PipelineResult &r = results[i];
                     cycles += double(r.ii()) * double(suite[i].iterations);
                     spills += r.spilledLifetimes;

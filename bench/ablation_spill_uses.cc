@@ -28,9 +28,13 @@ runAblation(benchmark::State &state)
     const auto &suite = evaluationSuite();
 
     for (auto _ : state) {
-        // How many values even have several uses?
+        // How many values even have several uses? (Per-shard counts
+        // when sharded, matching the evaluated subset below.)
         long values = 0, multiUse = 0;
-        for (const SuiteLoop &loop : suite) {
+        for (std::size_t li = 0; li < suite.size(); ++li) {
+            if (!ownsJob(li))
+                continue;
+            const SuiteLoop &loop = suite[li];
             for (NodeId n = 0; n < loop.graph.numNodes(); ++n) {
                 if (!producesValue(loop.graph.node(n).op))
                     continue;
@@ -39,10 +43,14 @@ runAblation(benchmark::State &state)
                 multiUse += uses > 1;
             }
         }
-        std::cout << "\nAblation: use-granularity spilling\n";
+        std::cout << "\nAblation: use-granularity spilling"
+                  << shardSuffix() << "\n";
+        // values can be 0 when this shard owns no loops; print 0%
+        // rather than a 0/0 NaN.
         std::cout << "suite values with >1 use: " << multiUse << " of "
                   << values << " ("
-                  << (100.0 * double(multiUse) / double(values))
+                  << (values ? 100.0 * double(multiUse) / double(values)
+                             : 0.0)
                   << "%) — the paper's premise for expecting little "
                      "gain\n";
 
@@ -58,12 +66,15 @@ runAblation(benchmark::State &state)
                     proto.options.reuseLastIi = true;
                     proto.options.spillUses = uses;
                     const auto results = suiteRunner().run(
-                        suite, m, protoJobs(suite.size(), proto));
+                        suite, m, protoJobs(suite.size(), proto),
+                        benchRunOptions());
 
                     double cycles = 0, refs = 0;
                     long spills = 0;
                     int unfit = 0;
                     for (std::size_t i = 0; i < suite.size(); ++i) {
+                        if (!ownsJob(i))
+                            continue;
                         const PipelineResult &r = results[i];
                         cycles +=
                             double(r.ii()) * double(suite[i].iterations);

@@ -60,27 +60,6 @@ flagError(const std::string &msg)
     std::exit(2);
 }
 
-/** JSON string literal with the required escapes. */
-std::string
-jsonQuote(const std::string &s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strprintf("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out + "\"";
-}
-
 /** Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
     — strtod is laxer (hex, leading zeros/plus, trailing dot) and would
     emit cells that are not valid JSON. */
@@ -208,8 +187,46 @@ SuiteRunner &
 suiteRunner()
 {
     static SuiteRunner runner(benchOptions().threads,
-                              benchOptions().memo);
+                              benchOptions().memo,
+                              std::size_t(benchOptions().memoCap));
     return runner;
+}
+
+const ShardSpec &
+benchShard()
+{
+    return benchOptions().shard;
+}
+
+bool
+ownsJob(std::size_t i)
+{
+    return benchShard().owns(i);
+}
+
+RunOptions
+benchRunOptions()
+{
+    RunOptions opts;
+    opts.shard = benchOptions().shard;
+    opts.chunk = benchOptions().chunk;
+    return opts;
+}
+
+RunOptions
+benchChunkOptions()
+{
+    RunOptions opts;
+    opts.chunk = benchOptions().chunk;
+    return opts;
+}
+
+std::string
+shardSuffix()
+{
+    return benchShard().active()
+               ? " [shard " + formatShardSpec(benchShard()) + "]"
+               : "";
 }
 
 SuiteTotals
@@ -224,12 +241,15 @@ runSuite(const std::vector<SuiteLoop> &suite, const Machine &m,
     SuiteTotals totals;
     Stopwatch sw;
     const std::vector<PipelineResult> results =
-        suiteRunner().run(suite, m, jobs);
+        suiteRunner().run(suite, m, jobs, benchRunOptions());
     totals.seconds = sw.seconds();
 
     // Serial accumulation in loop order keeps the floating-point sums
     // (and thus the emitted JSON) bit-identical at any thread count.
+    // Sharded runs accumulate only the jobs this shard evaluated.
     for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!ownsJob(i))
+            continue;
         const PipelineResult &r = results[i];
         totals.cycles += double(r.ii()) * double(suite[i].iterations);
         totals.memRefs += double(r.memOpsPerIteration()) *
@@ -302,6 +322,19 @@ initBenchArgs(int *argc, char ***argv, bool nativeJson)
             if (!parseIntInRange(text, 0, 1, memo))
                 flagError(std::string("bad --memo value ") + text);
             opts.memo = memo != 0;
+        } else if (!std::strcmp(arg, "--memo-cap")) {
+            const char *text = next(i, arg);
+            if (!parseIntInRange(text, 0, 1 << 30, opts.memoCap))
+                flagError(std::string("bad --memo-cap value ") + text);
+        } else if (!std::strcmp(arg, "--chunk")) {
+            const char *text = next(i, arg);
+            if (!parseChunkPolicy(text, opts.chunk))
+                flagError(std::string("bad --chunk policy ") + text);
+        } else if (!std::strcmp(arg, "--shard")) {
+            const char *text = next(i, arg);
+            if (!parseShardSpec(text, opts.shard))
+                flagError(std::string("bad --shard spec ") + text +
+                          " (want i/N with 0 <= i < N)");
         } else {
             keep.push_back(arg);
         }
@@ -379,6 +412,25 @@ writeBenchJson(const std::string &benchName)
     if (suiteConsumed()) {
         out << "  \"suite\": {\"seed\": \"" << opts.suite.seed
             << "\", \"loops\": " << opts.suite.numLoops << "},\n";
+    }
+    // The shard/memo stanzas appear only when their flags are active,
+    // so default runs stay byte-comparable across thread counts and
+    // memo on/off (the CI determinism diffs rely on that). The memo
+    // stanza itself is observability, not results: with >1 thread its
+    // counters depend on worker interleaving (which probes hit before
+    // eviction), so it is excluded from the byte-identity guarantee,
+    // like the wall-clock columns.
+    if (opts.shard.active()) {
+        out << "  \"shard\": {\"index\": " << opts.shard.index
+            << ", \"count\": " << opts.shard.count << "},\n";
+    }
+    if (opts.memoCap > 0) {
+        const SingleFlightStats s = suiteRunner().memoStats().schedule;
+        out << "  \"memo\": {\"cap\": " << opts.memoCap
+            << ", \"shard\": " << jsonQuote(formatShardSpec(opts.shard))
+            << ", \"requests\": " << s.requests << ", \"computes\": "
+            << s.computes << ", \"entries\": " << s.entries
+            << ", \"evictions\": " << s.evictions << "},\n";
     }
 
     out << "  \"metrics\": {";

@@ -44,6 +44,25 @@ namespace swp::benchutil
  *                    byte-identical either way; 0 re-schedules every
  *                    (graph, machine, II) probe, for measuring the
  *                    memo's effect and for CI's determinism diff.
+ *   --memo-cap <n>   LRU size cap on the schedule memo (default 0 =
+ *                    unbounded). Results are byte-identical at any
+ *                    cap; capped runs report eviction stats in the
+ *                    --json output (the stats stanza itself is
+ *                    observability: its counters depend on worker
+ *                    interleaving at >1 thread, like the wall-clock
+ *                    columns, and is no part of the byte-identity
+ *                    guarantee).
+ *   --chunk <auto|fixed>  job ordering/chunking policy (default auto
+ *                    = heaviest loops first). Results are
+ *                    byte-identical either way.
+ *   --shard <i/N>    evaluate only shard i of N of every grid
+ *                    (0-based; grid job j belongs to shard j mod N).
+ *                    Each shard's tables and totals cover its own
+ *                    jobs, so N shard processes split a grid across
+ *                    machines; the per-shard JSON says which shard it
+ *                    is. (Byte-exact cross-process merging is the
+ *                    CLI's --shard/--merge-shards workflow, whose
+ *                    shard files carry rendered per-job records.)
  */
 struct BenchOptions
 {
@@ -51,6 +70,9 @@ struct BenchOptions
     std::string jsonPath;
     int threads = 1;
     bool memo = true;
+    int memoCap = 0;
+    ChunkPolicy chunk = ChunkPolicy::Auto;
+    ShardSpec shard;
 
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */
@@ -101,11 +123,34 @@ BatchJob variantJob(int loopIndex, Variant v, int registers);
 std::vector<BatchJob> protoJobs(std::size_t n, const BatchJob &proto);
 
 /**
- * The process-wide batch runner, built from --threads on first use.
- * All harness grids funnel through it so the whole experiment shares
- * one evaluation path (and one MII/RecMII memo).
+ * The process-wide batch runner, built from --threads/--memo/--memo-cap
+ * on first use. All harness grids funnel through it so the whole
+ * experiment shares one evaluation path (and one MII/RecMII memo).
  */
 SuiteRunner &suiteRunner();
+
+/** The process-wide shard spec (inactive by default). */
+const ShardSpec &benchShard();
+
+/**
+ * Whether grid index i belongs to this process's shard. Every harness
+ * guards its result accumulation with this so a sharded run reports
+ * exactly the jobs it evaluated.
+ */
+bool ownsJob(std::size_t i);
+
+/** Run options carrying the process-wide shard spec + chunk policy. */
+RunOptions benchRunOptions();
+
+/**
+ * Chunk policy only — for grids whose jobs were already filtered to
+ * this shard (e.g. a stage-2 subset built from stage-1's owned
+ * results); sharding such a grid again would drop jobs.
+ */
+RunOptions benchChunkOptions();
+
+/** " [shard i/N]" when sharded, "" otherwise — for report headlines. */
+std::string shardSuffix();
 
 /** Whole-suite totals for one (machine, registers, variant) cell. */
 struct SuiteTotals

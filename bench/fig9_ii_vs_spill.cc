@@ -42,10 +42,16 @@ runFig9(benchmark::State &state)
                 for (std::size_t i = 0; i < suite.size(); ++i)
                     incrJobs.push_back(variantJob(
                         int(i), Variant::IncreaseIi, registers));
-                const auto incr = runner.run(suite, m, incrJobs);
+                const auto incr =
+                    runner.run(suite, m, incrJobs, benchRunOptions());
 
+                // A sharded run draws its candidates from the loops it
+                // owns; the later stages' grids are already
+                // shard-filtered through them (chunk policy only).
                 std::vector<int> candidates;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
+                    if (!ownsJob(i))
+                        continue;
                     const PipelineResult &r = incr[i];
                     if (!r.usedFallback && r.success && r.rounds > 1)
                         candidates.push_back(int(i));
@@ -56,7 +62,8 @@ runFig9(benchmark::State &state)
                 for (const int i : candidates)
                     spillJobs.push_back(variantJob(
                         i, Variant::MaxLtTrafMultiLastIi, registers));
-                const auto spills = runner.run(suite, m, spillJobs);
+                const auto spills =
+                    runner.run(suite, m, spillJobs, benchChunkOptions());
 
                 // Stage 3: best-of-all where spilling also converged.
                 std::vector<int> members;
@@ -68,7 +75,8 @@ runFig9(benchmark::State &state)
                     bestJobs.push_back(variantJob(
                         candidates[k], Variant::BestOfAll, registers));
                 }
-                const auto bests = runner.run(suite, m, bestJobs);
+                const auto bests =
+                    runner.run(suite, m, bestJobs, benchChunkOptions());
 
                 double cyclesIi = 0, cyclesSpill = 0, cyclesBest = 0;
                 int subset = 0, spillWins = 0, iiWins = 0;
@@ -99,7 +107,8 @@ runFig9(benchmark::State &state)
             }
         }
         std::cout << "\nFigure 9: increase-II vs spill vs best-of-all "
-                     "(converging subset only)\n";
+                     "(converging subset only" << shardSuffix()
+                  << ")\n";
         table.print(std::cout);
         recordTable("strategies", table);
     }

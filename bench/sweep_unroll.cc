@@ -44,10 +44,15 @@ sweepLoop(const Ddg &g, const Machine &m, int registers, Table &table)
     proto.options.registers = registers;
     proto.options.multiSelect = true;
     proto.options.reuseLastIi = true;
+    // The unroll factors are this sweep's grid: a sharded run
+    // evaluates and prints only the factors it owns.
     const auto results = suiteRunner().run(
-        unrolled, m, protoJobs(unrolled.size(), proto));
+        unrolled, m, protoJobs(unrolled.size(), proto),
+        benchRunOptions());
 
     for (std::size_t i = 0; i < unrolled.size(); ++i) {
+        if (!ownsJob(i))
+            continue;
         const int factor = factors[i];
         const PipelineResult &r = results[i];
         table.row()
@@ -75,7 +80,7 @@ runSweep(benchmark::State &state)
         sweepLoop(buildApsi47Analogue(), m, 32, table);
         sweepLoop(buildApsi50Analogue(), m, 32, table);
         std::cout << "\nUnroll sweep on the case-study loops "
-                     "(P2L4, 32 registers)\n";
+                     "(P2L4, 32 registers" << shardSuffix() << ")\n";
         table.print(std::cout);
         recordTable("case_study", table);
 
@@ -84,9 +89,12 @@ runSweep(benchmark::State &state)
         Table agg({"unroll", "cycles/orig-iter (sum)", "spills",
                    "unfit"});
         for (const int factor : {1, 2, 3}) {
+            // Unroll (and evaluate) only the loops this shard owns.
             std::vector<SuiteLoop> unrolled(subset);
             benchutil::suiteRunner().parallelFor(
                 subset, [&](std::size_t i) {
+                    if (!benchutil::ownsJob(i))
+                        return;
                     unrolled[i] = {unrollLoop(full[i].graph, factor),
                                    full[i].iterations};
                 });
@@ -97,12 +105,15 @@ runSweep(benchmark::State &state)
             proto.options.multiSelect = true;
             proto.options.reuseLastIi = true;
             const auto results = benchutil::suiteRunner().run(
-                unrolled, m, benchutil::protoJobs(subset, proto));
+                unrolled, m, benchutil::protoJobs(subset, proto),
+                benchutil::benchRunOptions());
 
             double perIter = 0;
             long spills = 0;
             int unfit = 0;
             for (std::size_t i = 0; i < subset; ++i) {
+                if (!benchutil::ownsJob(i))
+                    continue;
                 const PipelineResult &r = results[i];
                 perIter += double(r.ii()) / factor;
                 spills += r.spilledLifetimes;
@@ -115,7 +126,8 @@ runSweep(benchmark::State &state)
                 .add(unfit);
         }
         std::cout << "\nUnroll sweep over " << subset
-                  << " suite loops (P2L4, 32 registers)\n";
+                  << " suite loops (P2L4, 32 registers"
+                  << shardSuffix() << ")\n";
         agg.print(std::cout);
         recordTable("suite_subset", agg);
     }

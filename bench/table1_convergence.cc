@@ -42,15 +42,22 @@ runTable1(benchmark::State &state)
             for (std::size_t i = 0; i < suite.size(); ++i)
                 idealJobs.push_back(
                     variantJob(int(i), Variant::Ideal, 0));
-            const auto ideal = runner.run(suite, m, idealJobs);
+            const auto ideal =
+                runner.run(suite, m, idealJobs, benchRunOptions());
 
-            std::vector<double> idealCycles;
+            // Sharded runs normalize by their own jobs' cycles: the %
+            // columns are per-shard views of per-shard counts.
+            std::vector<double> idealCycles(suite.size(), 0.0);
             double totalCycles = 0;
+            std::size_t ownedLoops = 0;
             for (std::size_t i = 0; i < suite.size(); ++i) {
+                if (!ownsJob(i))
+                    continue;
                 const double c = double(ideal[i].ii()) *
                                  double(suite[i].iterations);
-                idealCycles.push_back(c);
+                idealCycles[i] = c;
                 totalCycles += c;
+                ++ownedLoops;
             }
 
             for (const int registers : {64, 32}) {
@@ -58,11 +65,14 @@ runTable1(benchmark::State &state)
                 for (std::size_t i = 0; i < suite.size(); ++i)
                     jobs.push_back(variantJob(
                         int(i), Variant::IncreaseIi, registers));
-                const auto results = runner.run(suite, m, jobs);
+                const auto results =
+                    runner.run(suite, m, jobs, benchRunOptions());
 
                 int diverged = 0;
                 double divergedCycles = 0;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
+                    if (!ownsJob(i))
+                        continue;
                     if (results[i].usedFallback) {
                         ++diverged;
                         divergedCycles += idealCycles[i];
@@ -70,17 +80,26 @@ runTable1(benchmark::State &state)
                             .insert(int(i));
                     }
                 }
+                // A shard can own zero loops (more shards than
+                // loops); report 0% rather than 0/0 = NaN cells.
                 table.row()
                     .add(m.name())
                     .add(registers)
                     .add(diverged)
-                    .add(100.0 * diverged / double(suite.size()), 2)
-                    .add(100.0 * divergedCycles / totalCycles, 1);
+                    .add(ownedLoops
+                             ? 100.0 * diverged / double(ownedLoops)
+                             : 0.0,
+                         2)
+                    .add(totalCycles > 0
+                             ? 100.0 * divergedCycles / totalCycles
+                             : 0.0,
+                         1);
             }
         }
 
         std::cout << "\nTable 1: loops that never converge under "
-                     "increase-II (" << suite.size() << " loops)\n";
+                     "increase-II (" << suite.size() << " loops"
+                  << shardSuffix() << ")\n";
         table.print(std::cout);
         std::cout << "distinct failing loops @32 across configs: "
                   << failing32.size() << ", @64: " << failing64.size()

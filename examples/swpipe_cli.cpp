@@ -32,17 +32,37 @@
  *                                 byte-identical at any thread count.
  *   --memo 0|1                    schedule memoization (default 1);
  *                                 output is byte-identical either way
+ *   --memo-cap N                  LRU size cap on the schedule memo
+ *                                 (default 0 = unbounded); output is
+ *                                 byte-identical at any cap
+ *   --chunk auto|fixed            job ordering/chunking policy (default
+ *                                 auto = heaviest loops first); output
+ *                                 is byte-identical either way
+ *   --shard i/N                   evaluate only shard i of N (0-based;
+ *                                 job j belongs to shard j mod N) and
+ *                                 write a shard file instead of stdout
+ *                                 output; requires --shard-out
+ *   --shard-out FILE              where the shard file is written
+ *   --merge-shards F1 F2 ...      recombine a complete set of shard
+ *                                 files; stdout and the exit code are
+ *                                 byte-identical to the unsharded run.
+ *                                 Refuses overlapping, missing, or
+ *                                 mismatched (config/seed) shards.
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "codegen/kernel.hh"
+#include "driver/shard_merge.hh"
 #include "driver/suite_runner.hh"
 #include "ir/builder.hh"
 #include "pipeliner/pipeliner.hh"
+#include "sched/fingerprint.hh"
 #include "sched/mii.hh"
 #include "sim/vliw.hh"
 #include "support/diag.hh"
@@ -68,6 +88,17 @@ struct CliOptions
     bool csv = false;
     int threads = 1;
     bool memo = true;
+    int memoCap = 0;
+    ChunkPolicy chunk = ChunkPolicy::Auto;
+    ShardSpec shard;
+    /** --shard was given (0/1 is a legitimate single-shard spec). */
+    bool shardMode = false;
+    std::string shardOut;
+    bool mergeMode = false;
+    std::vector<std::string> mergeFiles;
+    /** Suite provenance for shard-file metadata. */
+    std::uint64_t suiteSeed = kDefaultSuiteSeed;
+    int suiteCount = 0;
     std::vector<SuiteLoop> loops;
 };
 
@@ -96,6 +127,7 @@ parseArgs(int argc, char **argv)
     SuiteParams suiteParams;
     int suiteCount = 0;
     bool seedSet = false;
+    std::vector<std::string> positional;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -181,55 +213,109 @@ parseArgs(int argc, char **argv)
             if (!parseIntInRange(text, 0, 1, memo))
                 usageError(std::string("bad --memo value ") + text);
             opts.memo = memo != 0;
+        } else if (!std::strcmp(arg, "--memo-cap")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 0, 1 << 30, opts.memoCap))
+                usageError(std::string("bad --memo-cap value ") + text);
+        } else if (!std::strcmp(arg, "--chunk")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseChunkPolicy(text, opts.chunk))
+                usageError(std::string("bad --chunk policy ") + text);
+        } else if (!std::strcmp(arg, "--shard")) {
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseShardSpec(text, opts.shard))
+                usageError(std::string("bad --shard spec ") + text +
+                           " (want i/N with 0 <= i < N)");
+            opts.shardMode = true;
+        } else if (!std::strcmp(arg, "--shard-out")) {
+            opts.shardOut = nextArg(argc, argv, i, arg);
+        } else if (!std::strcmp(arg, "--merge-shards")) {
+            opts.mergeMode = true;
         } else if (arg[0] == '-') {
             usageError(std::string("unknown option ") + arg);
         } else {
-            for (SuiteLoop &loop : parseDdgFile(arg))
-                opts.loops.push_back(std::move(loop));
+            // Routed below, once all flags are seen: a positional is a
+            // shard file under --merge-shards (wherever the flag sits
+            // on the line) and a .ddg input otherwise.
+            positional.push_back(arg);
         }
     }
+    if (opts.mergeMode) {
+        opts.mergeFiles = std::move(positional);
+        if (opts.shardMode || !opts.shardOut.empty())
+            usageError("--merge-shards cannot be combined with --shard");
+        if (opts.mergeFiles.empty())
+            usageError("--merge-shards needs at least one shard file");
+        return opts;
+    }
+    if (opts.shardMode && opts.shardOut.empty())
+        usageError("--shard requires --shard-out FILE");
+    if (!opts.shardOut.empty() && !opts.shardMode)
+        usageError("--shard-out only applies to --shard runs");
     if (seedSet && suiteCount == 0)
         usageError("--seed only applies to --suite loops");
+    for (const std::string &path : positional) {
+        for (SuiteLoop &loop : parseDdgFile(path))
+            opts.loops.push_back(std::move(loop));
+    }
     for (int i = 0; i < suiteCount; ++i)
         opts.loops.push_back(generateSuiteLoop(suiteParams, i));
+    opts.suiteSeed = suiteParams.seed;
+    opts.suiteCount = suiteCount;
     if (opts.loops.empty())
         opts.loops.push_back({buildPaperExampleLoop(), 100});
     return opts;
 }
 
+/** The text emitted once before any per-loop report. */
+std::string
+outputPrologue(const CliOptions &opts)
+{
+    return opts.csv ? "loop,machine,strategy,budget,fits,mii,ii,"
+                      "regs,spills,memops,attempts\n"
+                    : "";
+}
+
+/**
+ * Render one loop's report into `out` — exactly the bytes an unsharded
+ * run writes to stdout for it, so sharded runs can store the text in a
+ * shard record and the merge can reproduce the run by concatenation.
+ * Diagnostics (the simulation-mismatch note) go to stderr, not `out`;
+ * they reach the merged run through the returned rc instead.
+ */
 int
 reportLoop(const CliOptions &opts, const SuiteLoop &loop,
-           const PipelineResult &r)
+           const PipelineResult &r, std::ostream &out)
 {
     const Ddg &g = loop.graph;
     const Machine &m = opts.machine;
 
     if (opts.csv) {
-        std::cout << g.name() << "," << m.name() << ","
-                  << (opts.ideal ? "ideal" : strategyName(opts.strategy))
-                  << "," << opts.pipeline.registers << ","
-                  << (r.success ? 1 : 0) << "," << mii(g, m) << ","
-                  << r.ii() << "," << r.alloc.regsRequired << ","
-                  << r.spilledLifetimes << ","
-                  << r.memOpsPerIteration() << "," << r.attempts
-                  << "\n";
+        out << g.name() << "," << m.name() << ","
+            << (opts.ideal ? "ideal" : strategyName(opts.strategy))
+            << "," << opts.pipeline.registers << ","
+            << (r.success ? 1 : 0) << "," << mii(g, m) << ","
+            << r.ii() << "," << r.alloc.regsRequired << ","
+            << r.spilledLifetimes << ","
+            << r.memOpsPerIteration() << "," << r.attempts
+            << "\n";
     } else {
-        std::cout << "loop '" << g.name() << "' on " << m.name()
-                  << ": " << (r.success ? "fits" : "DOES NOT FIT")
-                  << " budget " << opts.pipeline.registers << " — II="
-                  << r.ii() << " (MII " << mii(g, m) << "), "
-                  << r.alloc.regsRequired << " regs, "
-                  << r.spilledLifetimes << " spills, "
-                  << r.memOpsPerIteration() << " mem ops/iter\n";
+        out << "loop '" << g.name() << "' on " << m.name()
+            << ": " << (r.success ? "fits" : "DOES NOT FIT")
+            << " budget " << opts.pipeline.registers << " — II="
+            << r.ii() << " (MII " << mii(g, m) << "), "
+            << r.alloc.regsRequired << " regs, "
+            << r.spilledLifetimes << " spills, "
+            << r.memOpsPerIteration() << " mem ops/iter\n";
     }
 
     if (opts.kernel) {
-        std::cout << formatKernelListing(r.graph(), m, r.sched,
-                                         r.alloc.rotAlloc);
+        out << formatKernelListing(r.graph(), m, r.sched,
+                                   r.alloc.rotAlloc);
     }
     if (opts.mve) {
         const LifetimeInfo info = analyzeLifetimes(r.graph(), r.sched);
-        std::cout << formatMveKernel(r.graph(), r.sched, info);
+        out << formatMveKernel(r.graph(), r.sched, info);
     }
     if (opts.simulate > 0) {
         std::string why;
@@ -241,11 +327,69 @@ reportLoop(const CliOptions &opts, const SuiteLoop &loop,
             return 1;
         }
         if (!opts.csv) {
-            std::cout << "  simulation: " << opts.simulate
-                      << " iterations match the sequential reference\n";
+            out << "  simulation: " << opts.simulate
+                << " iterations match the sequential reference\n";
         }
     }
     return 0;
+}
+
+/**
+ * Fingerprint of everything the rendered output depends on: the build,
+ * every output-relevant option, the machine, and each input loop's
+ * structural fingerprint and trip count. Two shard runs merge only if
+ * these match, so shards of different seeds, .ddg inputs, budgets, or
+ * binaries are refused instead of silently concatenated.
+ */
+std::string
+configFingerprint(const CliOptions &opts)
+{
+    Fingerprint fp;
+    fp.mix(std::string(__VERSION__));
+#ifdef NDEBUG
+    fp.mix(std::uint64_t(1));
+#else
+    fp.mix(std::uint64_t(0));
+#endif
+    fp.mix(machineFingerprint(opts.machine));
+    fp.mix(opts.machine.name());
+    fp.mix(std::uint64_t(opts.ideal));
+    fp.mix(std::uint64_t(int(opts.strategy)));
+    fp.mix(std::uint64_t(int(opts.pipeline.scheduler)));
+    fp.mix(std::uint64_t(opts.pipeline.registers));
+    fp.mix(std::uint64_t(int(opts.pipeline.heuristic)));
+    fp.mix(std::uint64_t(opts.pipeline.multiSelect));
+    fp.mix(std::uint64_t(opts.pipeline.spillUses));
+    fp.mix(std::uint64_t(opts.pipeline.reuseLastIi));
+    fp.mix(std::uint64_t(int(opts.pipeline.fit)));
+    fp.mix(std::uint64_t(opts.pipeline.maxSpillRounds));
+    fp.mix(std::uint64_t(opts.pipeline.fuseSpillOps));
+    fp.mix(std::uint64_t(opts.kernel));
+    fp.mix(std::uint64_t(opts.mve));
+    fp.mix(std::uint64_t(opts.simulate));
+    fp.mix(std::uint64_t(opts.csv));
+    for (const SuiteLoop &loop : opts.loops) {
+        fp.mix(graphFingerprint(loop.graph));
+        fp.mix(loop.graph.name());
+        fp.mix(std::uint64_t(loop.iterations));
+    }
+    return strprintf("%016llx",
+                     static_cast<unsigned long long>(fp.value()));
+}
+
+std::string
+configSummary(const CliOptions &opts)
+{
+    std::ostringstream os;
+    os << "machine=" << opts.machine.name() << " strategy="
+       << (opts.ideal ? "ideal" : strategyName(opts.strategy))
+       << " registers=" << opts.pipeline.registers << " loops="
+       << opts.loops.size();
+    if (opts.suiteCount > 0)
+        os << " suite-seed=" << opts.suiteSeed;
+    os << " csv=" << int(opts.csv) << " kernel=" << int(opts.kernel)
+       << " mve=" << int(opts.mve) << " simulate=" << opts.simulate;
+    return os.str();
 }
 
 } // namespace
@@ -255,15 +399,23 @@ main(int argc, char **argv)
 {
     try {
         const CliOptions opts = parseArgs(argc, argv);
-        if (opts.csv) {
-            std::cout << "loop,machine,strategy,budget,fits,mii,ii,"
-                         "regs,spills,memops,attempts\n";
+
+        if (opts.mergeMode) {
+            std::vector<ShardDoc> docs;
+            docs.reserve(opts.mergeFiles.size());
+            for (const std::string &path : opts.mergeFiles)
+                docs.push_back(readShardFile(path));
+            const MergeOutput merged = mergeShards(docs);
+            std::cout << merged.text;
+            return merged.rc;
         }
 
         // Evaluate all loops as one batch on the worker pool, then
         // report serially in input order — the output is byte-identical
-        // at any --threads count.
-        SuiteRunner runner(opts.threads, opts.memo);
+        // at any --threads count, --chunk policy, --memo setting,
+        // --memo-cap, and shard split.
+        SuiteRunner runner(opts.threads, opts.memo,
+                           std::size_t(opts.memoCap));
         std::vector<BatchJob> jobs(opts.loops.size());
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             jobs[i].loop = int(i);
@@ -271,15 +423,58 @@ main(int argc, char **argv)
             jobs[i].strategy = opts.strategy;
             jobs[i].options = opts.pipeline;
         }
+        RunOptions ropts;
+        ropts.shard = opts.shard;
+        ropts.chunk = opts.chunk;
         const std::vector<swp::PipelineResult> results =
-            runner.run(opts.loops, opts.machine, jobs);
+            runner.run(opts.loops, opts.machine, jobs, ropts);
 
+        if (opts.shardMode) {
+            // Render only this shard's jobs, into a shard file rather
+            // than stdout; --merge-shards later reassembles the run.
+            ShardDoc doc;
+            doc.tool = "swpipe_cli";
+            doc.config = configFingerprint(opts);
+            doc.configSummary = configSummary(opts);
+            if (opts.suiteCount > 0) {
+                doc.suiteSeed = std::to_string(opts.suiteSeed);
+                doc.suiteLoops = opts.suiteCount;
+            }
+            doc.totalJobs = jobs.size();
+            doc.shard = opts.shard;
+            doc.prologue = outputPrologue(opts);
+            int rc = 0;
+            for (std::size_t i = 0; i < opts.loops.size(); ++i) {
+                if (!opts.shard.owns(i))
+                    continue;
+                std::ostringstream text;
+                ShardRecord rec;
+                rec.job = i;
+                rec.rc = reportLoop(opts, opts.loops[i], results[i],
+                                    text);
+                rec.text = text.str();
+                rc |= rec.rc;
+                doc.records.push_back(std::move(rec));
+            }
+            writeShardFile(opts.shardOut, doc);
+            std::cerr << "shard " << formatShardSpec(opts.shard) << ": "
+                      << doc.records.size() << " of " << doc.totalJobs
+                      << " jobs written to " << opts.shardOut << "\n";
+            return rc;
+        }
+
+        std::cout << outputPrologue(opts);
         int rc = 0;
         for (std::size_t i = 0; i < opts.loops.size(); ++i)
-            rc |= reportLoop(opts, opts.loops[i], results[i]);
+            rc |= reportLoop(opts, opts.loops[i], results[i], std::cout);
         return rc;
     } catch (const swp::FatalError &e) {
         std::cerr << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        // E.g. allocation failure on a corrupt shard file: still a
+        // clean refusal, not std::terminate.
+        std::cerr << "swpipe_cli: " << e.what() << "\n";
         return 2;
     }
 }

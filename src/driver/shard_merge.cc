@@ -1,0 +1,548 @@
+#include "driver/shard_merge.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "support/diag.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+namespace
+{
+
+/** Shard file format identifier; bump on incompatible layout changes. */
+const char *const kShardFormat = "swp-shard-v1";
+
+/**
+ * Minimal JSON value model for reading shard files back. The format
+ * is fixed and written by this library, so only what the writer emits
+ * is supported: objects, arrays, strings, integers, and booleans —
+ * floats are rejected (shard files never carry them, and refusing is
+ * safer than silently rounding).
+ */
+struct Json
+{
+    enum class Kind { Null, Bool, Int, Str, Arr, Obj };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    long long integer = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+
+    const Json *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : obj) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+};
+
+/** Recursive-descent parser over an in-memory buffer. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, const std::string &where)
+        : text_(text), where_(where)
+    {
+    }
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after the document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        SWP_FATAL(where_, ": invalid shard file: ", msg, " (at byte ",
+                  pos_, ")");
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Json
+    parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            parseLiteral("null");
+            return Json{};
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail("unexpected character");
+    }
+
+    void
+    parseLiteral(const std::string &lit)
+    {
+        skipWs();
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            fail("malformed literal");
+        pos_ += lit.size();
+    }
+
+    Json
+    parseBool()
+    {
+        Json v;
+        v.kind = Json::Kind::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+        }
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        if (pos_ == start + (text_[start] == '-' ? 1u : 0u))
+            fail("malformed number");
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '.' || text_[pos_] == 'e' ||
+             text_[pos_] == 'E'))
+            fail("non-integer numbers are not part of the shard format");
+        Json v;
+        v.kind = Json::Kind::Int;
+        try {
+            v.integer = std::stoll(text_.substr(start, pos_ - start));
+        } catch (const std::exception &) {
+            fail("integer out of range");
+        }
+        return v;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += char(code);
+        } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+        } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+        }
+    }
+
+    Json
+    parseString()
+    {
+        expect('"');
+        Json v;
+        v.kind = Json::Kind::Str;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': v.str += '"'; break;
+              case '\\': v.str += '\\'; break;
+              case '/': v.str += '/'; break;
+              case 'b': v.str += '\b'; break;
+              case 'f': v.str += '\f'; break;
+              case 'n': v.str += '\n'; break;
+              case 'r': v.str += '\r'; break;
+              case 't': v.str += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("malformed \\u escape");
+                }
+                if (code >= 0xD800 && code <= 0xDFFF)
+                    fail("surrogate pairs are not part of the shard "
+                         "format");
+                appendUtf8(v.str, code);
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::Arr;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.arr.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::Obj;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            const Json key = parseString();
+            expect(':');
+            v.obj.emplace_back(key.str, parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::string where_;
+    std::size_t pos_ = 0;
+};
+
+/** Typed field access with path-qualified errors. */
+const Json &
+field(const Json &obj, const std::string &key, Json::Kind kind,
+      const std::string &where)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        SWP_FATAL(where, ": invalid shard file: missing field '", key,
+                  "'");
+    if (v->kind != kind)
+        SWP_FATAL(where, ": invalid shard file: field '", key,
+                  "' has the wrong type");
+    return *v;
+}
+
+long long
+intField(const Json &obj, const std::string &key, const std::string &where,
+         long long lo, long long hi)
+{
+    const long long v = field(obj, key, Json::Kind::Int, where).integer;
+    if (v < lo || v > hi)
+        SWP_FATAL(where, ": invalid shard file: field '", key,
+                  "' out of range");
+    return v;
+}
+
+} // namespace
+
+bool
+parseShardSpec(const std::string &text, ShardSpec &out)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    int index = 0, count = 0;
+    if (!parseIntInRange(text.substr(0, slash), 0, 1000000 - 1, index))
+        return false;
+    if (!parseIntInRange(text.substr(slash + 1), 1, 1000000, count))
+        return false;
+    if (index >= count)
+        return false;
+    out.index = index;
+    out.count = count;
+    return true;
+}
+
+std::string
+formatShardSpec(const ShardSpec &spec)
+{
+    return std::to_string(spec.index) + "/" + std::to_string(spec.count);
+}
+
+void
+writeShardFile(std::ostream &out, const ShardDoc &doc)
+{
+    out << "{\n";
+    out << "  \"format\": " << jsonQuote(kShardFormat) << ",\n";
+    out << "  \"tool\": " << jsonQuote(doc.tool) << ",\n";
+    out << "  \"config\": " << jsonQuote(doc.config) << ",\n";
+    out << "  \"configSummary\": " << jsonQuote(doc.configSummary)
+        << ",\n";
+    if (!doc.suiteSeed.empty()) {
+        out << "  \"suite\": {\"seed\": " << jsonQuote(doc.suiteSeed)
+            << ", \"loops\": " << doc.suiteLoops << "},\n";
+    }
+    out << "  \"jobs\": " << doc.totalJobs << ",\n";
+    out << "  \"shard\": {\"index\": " << doc.shard.index
+        << ", \"count\": " << doc.shard.count << "},\n";
+    out << "  \"prologue\": " << jsonQuote(doc.prologue) << ",\n";
+    out << "  \"records\": [";
+    for (std::size_t i = 0; i < doc.records.size(); ++i) {
+        const ShardRecord &r = doc.records[i];
+        out << (i ? ",\n    " : "\n    ") << "{\"job\": " << r.job
+            << ", \"rc\": " << r.rc << ", \"text\": "
+            << jsonQuote(r.text) << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+void
+writeShardFile(const std::string &path, const ShardDoc &doc)
+{
+    std::ofstream out(path);
+    if (!out)
+        SWP_FATAL("cannot write shard file ", path);
+    writeShardFile(out, doc);
+    out.flush();
+    if (!out)
+        SWP_FATAL("error writing shard file ", path);
+}
+
+ShardDoc
+readShardFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SWP_FATAL("cannot read shard file ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    const Json root = JsonParser(text, path).parse();
+    if (root.kind != Json::Kind::Obj)
+        SWP_FATAL(path, ": invalid shard file: not a JSON object");
+    const std::string format =
+        field(root, "format", Json::Kind::Str, path).str;
+    if (format != kShardFormat) {
+        SWP_FATAL(path, ": unsupported shard format '", format,
+                  "' (this build reads ", kShardFormat, ")");
+    }
+
+    ShardDoc doc;
+    doc.tool = field(root, "tool", Json::Kind::Str, path).str;
+    doc.config = field(root, "config", Json::Kind::Str, path).str;
+    doc.configSummary =
+        field(root, "configSummary", Json::Kind::Str, path).str;
+    if (const Json *suite = root.find("suite")) {
+        if (suite->kind != Json::Kind::Obj)
+            SWP_FATAL(path, ": invalid shard file: field 'suite' has "
+                            "the wrong type");
+        doc.suiteSeed = field(*suite, "seed", Json::Kind::Str, path).str;
+        doc.suiteLoops =
+            int(intField(*suite, "loops", path, 0, 1000000000));
+    }
+    doc.totalJobs =
+        std::size_t(intField(root, "jobs", path, 0, 1000000000));
+    const Json &shard = field(root, "shard", Json::Kind::Obj, path);
+    doc.shard.count = int(intField(shard, "count", path, 1, 1000000));
+    doc.shard.index =
+        int(intField(shard, "index", path, 0, doc.shard.count - 1));
+    doc.prologue = field(root, "prologue", Json::Kind::Str, path).str;
+
+    const Json &records = field(root, "records", Json::Kind::Arr, path);
+    doc.records.reserve(records.arr.size());
+    for (const Json &rec : records.arr) {
+        if (rec.kind != Json::Kind::Obj)
+            SWP_FATAL(path, ": invalid shard file: record is not an "
+                            "object");
+        ShardRecord r;
+        r.job = std::size_t(intField(rec, "job", path, 0, 1000000000));
+        r.rc = int(intField(rec, "rc", path, 0, 255));
+        r.text = field(rec, "text", Json::Kind::Str, path).str;
+        doc.records.push_back(std::move(r));
+    }
+    return doc;
+}
+
+MergeOutput
+mergeShards(const std::vector<ShardDoc> &docs)
+{
+    if (docs.empty())
+        SWP_FATAL("merge: no shard files given");
+
+    const ShardDoc &ref = docs.front();
+    const std::string refName = formatShardSpec(ref.shard);
+    for (const ShardDoc &doc : docs) {
+        const std::string name = formatShardSpec(doc.shard);
+        if (doc.tool != ref.tool) {
+            SWP_FATAL("merge: shard ", name, " was produced by '",
+                      doc.tool, "' but shard ", refName, " by '",
+                      ref.tool, "'");
+        }
+        if (doc.shard.count != ref.shard.count) {
+            SWP_FATAL("merge: shard ", name, " is one of ",
+                      doc.shard.count, " shards but shard ", refName,
+                      " is one of ", ref.shard.count);
+        }
+        if (doc.suiteSeed != ref.suiteSeed) {
+            SWP_FATAL("merge: shard ", name, " ran suite seed ",
+                      doc.suiteSeed.empty() ? "(none)" : doc.suiteSeed,
+                      " but shard ", refName, " ran seed ",
+                      ref.suiteSeed.empty() ? "(none)" : ref.suiteSeed);
+        }
+        if (doc.suiteLoops != ref.suiteLoops ||
+            doc.totalJobs != ref.totalJobs) {
+            SWP_FATAL("merge: shard ", name, " covers a ", doc.totalJobs,
+                      "-job grid but shard ", refName, " covers ",
+                      ref.totalJobs, " jobs");
+        }
+        if (doc.config != ref.config) {
+            SWP_FATAL("merge: shard ", name,
+                      " was produced under a different configuration\n  ",
+                      name, ": ", doc.configSummary, "\n  ", refName,
+                      ": ", ref.configSummary);
+        }
+        if (doc.prologue != ref.prologue)
+            SWP_FATAL("merge: shard ", name, " disagrees on the output "
+                                             "prologue");
+    }
+
+    const int count = ref.shard.count;
+    if (int(docs.size()) > count) {
+        SWP_FATAL("merge: ", docs.size(), " shard files given for a ",
+                  count, "-shard run");
+    }
+    std::vector<const ShardDoc *> byIndex(std::size_t(count), nullptr);
+    for (const ShardDoc &doc : docs) {
+        const ShardDoc *&slot = byIndex[std::size_t(doc.shard.index)];
+        if (slot) {
+            SWP_FATAL("merge: overlapping shards: shard ",
+                      formatShardSpec(doc.shard), " provided twice");
+        }
+        slot = &doc;
+    }
+    for (int i = 0; i < count; ++i) {
+        if (!byIndex[std::size_t(i)]) {
+            SWP_FATAL("merge: missing shard ", i, "/", count, " (got ",
+                      docs.size(), " of ", count, " shard files)");
+        }
+    }
+
+    // Sized by the records actually present, never by the
+    // file-provided grid size, so a corrupt "jobs" field cannot drive
+    // a huge allocation — it is refused by the coverage check instead.
+    std::map<std::size_t, const ShardRecord *> byJob;
+    for (const ShardDoc &doc : docs) {
+        const std::string name = formatShardSpec(doc.shard);
+        for (const ShardRecord &rec : doc.records) {
+            if (rec.job >= ref.totalJobs) {
+                SWP_FATAL("merge: shard ", name, " carries job ",
+                          rec.job, ", outside the ", ref.totalJobs,
+                          "-job grid");
+            }
+            if (!doc.shard.owns(rec.job)) {
+                SWP_FATAL("merge: shard ", name, " carries job ",
+                          rec.job, ", which belongs to shard ",
+                          rec.job % std::size_t(count), "/", count);
+            }
+            if (!byJob.emplace(rec.job, &rec).second) {
+                SWP_FATAL("merge: job ", rec.job,
+                          " appears twice in shard ", name);
+            }
+        }
+    }
+    if (byJob.size() != ref.totalJobs) {
+        // Name the first gap: jobs are unique and in-range, so some
+        // index in [0, records] is uncovered.
+        std::size_t j = 0;
+        for (const auto &kv : byJob) {
+            if (kv.first != j)
+                break;
+            ++j;
+        }
+        SWP_FATAL("merge: shard ", j % std::size_t(count), "/", count,
+                  " is missing job ", j);
+    }
+
+    MergeOutput out;
+    out.text = ref.prologue;
+    for (const auto &kv : byJob) {
+        out.text += kv.second->text;
+        out.rc |= kv.second->rc;
+    }
+    return out;
+}
+
+} // namespace swp

@@ -1,11 +1,39 @@
 #include "driver/suite_runner.hh"
 
+#include <algorithm>
+#include <queue>
+
 #include "sched/fingerprint.hh"
+#include "sched/ii_search.hh"
 #include "sched/mii.hh"
 #include "support/diag.hh"
 
 namespace swp
 {
+
+const char *
+chunkPolicyName(ChunkPolicy policy)
+{
+    switch (policy) {
+      case ChunkPolicy::Auto: return "auto";
+      case ChunkPolicy::Fixed: return "fixed";
+    }
+    SWP_PANIC("unknown chunk policy ", int(policy));
+}
+
+bool
+parseChunkPolicy(const std::string &text, ChunkPolicy &out)
+{
+    if (text == "auto") {
+        out = ChunkPolicy::Auto;
+        return true;
+    }
+    if (text == "fixed") {
+        out = ChunkPolicy::Fixed;
+        return true;
+    }
+    return false;
+}
 
 namespace
 {
@@ -26,8 +54,10 @@ struct TaskScope
 
 } // namespace
 
-SuiteRunner::SuiteRunner(int threads, bool memoizeSchedules)
-    : memoizeSchedules_(memoizeSchedules)
+SuiteRunner::SuiteRunner(int threads, bool memoizeSchedules,
+                         std::size_t scheduleMemoCap)
+    : memoizeSchedules_(memoizeSchedules),
+      scheduleMemo_(kVerifyMemoKeys, scheduleMemoCap)
 {
     if (threads <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -97,23 +127,25 @@ SuiteRunner::ensurePool() const
 /**
  * Body run by every thread participating in a task (pool threads and
  * the dispatching caller alike): build per-thread state, then consume
- * indices from the shared counter until they run out or a job fails.
+ * chunks of indices from the shared counter until they run out or a
+ * job fails.
  */
 void
 SuiteRunner::runTask(PoolTask &t)
 {
-    // Claim an index before building any per-thread state. This bounds
-    // the participants to `count` (a pool thread waking for a batch
-    // smaller than the pool backs out after one fetch_add instead of
-    // constructing scheduler objects it will never use), and it
-    // protects makeWorker's lifetime: a thread that cannot claim an
-    // index never touches makeWorker — whose captures are locals of the
+    // Claim a chunk before building any per-thread state. This bounds
+    // the participants to the chunk count (a pool thread waking for a
+    // batch smaller than the pool backs out after one fetch_add instead
+    // of constructing scheduler objects it will never use), and it
+    // protects makeWorker's lifetime: a thread that cannot claim a
+    // chunk never touches makeWorker — whose captures are locals of the
     // dispatching caller, which only returns once it has observed
     // next >= count and activeWorkers_ == 0.
     if (t.abort.load(std::memory_order_relaxed))
         return;
-    std::size_t i = t.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= t.count)
+    const std::size_t chunk = t.chunk;
+    std::size_t base = t.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (base >= t.count)
         return;
     const TaskScope scope;
     // makeWorker() runs on the worker thread too (it allocates
@@ -127,15 +159,18 @@ SuiteRunner::runTask(PoolTask &t)
         return;
     }
     for (;;) {
-        if (t.abort.load(std::memory_order_relaxed))
-            return;
-        try {
-            fn(i);
-        } catch (...) {
-            t.fail();
+        const std::size_t end = std::min(base + chunk, t.count);
+        for (std::size_t i = base; i < end; ++i) {
+            if (t.abort.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                t.fail();
+            }
         }
-        i = t.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= t.count)
+        base = t.next.fetch_add(chunk, std::memory_order_relaxed);
+        if (base >= t.count)
             return;
     }
 }
@@ -164,7 +199,8 @@ SuiteRunner::poolMain() const
 
 void
 SuiteRunner::dispatch(std::size_t count,
-                      const std::function<Worker()> &makeWorker) const
+                      const std::function<Worker()> &makeWorker,
+                      std::size_t chunk) const
 {
     if (count == 0)
         return;
@@ -187,6 +223,7 @@ SuiteRunner::dispatch(std::size_t count,
 
     auto task = std::make_shared<PoolTask>();
     task->count = count;
+    task->chunk = chunk ? chunk : 1;
     task->makeWorker = &makeWorker;
     {
         std::lock_guard<std::mutex> lock(poolMutex_);
@@ -219,9 +256,71 @@ SuiteRunner::parallelFor(std::size_t count,
     dispatch(count, [&fn]() -> Worker { return fn; });
 }
 
+double
+SuiteRunner::jobCost(const std::vector<SuiteLoop> &suite,
+                     const Machine &m, const BatchJob &job)
+{
+    const Ddg &g = suite[std::size_t(job.loop)].graph;
+    const int span =
+        std::max(1, defaultMaxIi(g, m) - bounds(g, m).mii + 1);
+    return double(g.numNodes()) * double(span);
+}
+
+std::vector<std::size_t>
+SuiteRunner::planJobOrder(const std::vector<SuiteLoop> &suite,
+                          const Machine &m,
+                          const std::vector<BatchJob> &jobs,
+                          const RunOptions &opts)
+{
+    SWP_ASSERT(opts.shard.count >= 1 && opts.shard.index >= 0 &&
+                   opts.shard.index < opts.shard.count,
+               "malformed shard spec ", opts.shard.index, "/",
+               opts.shard.count);
+
+    std::vector<std::size_t> order;
+    order.reserve(jobs.size() / std::size_t(opts.shard.count) + 1);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (opts.shard.owns(i))
+            order.push_back(i);
+    }
+    if (opts.chunk == ChunkPolicy::Auto) {
+        // The ranking needs every owned loop's MII; warm the bounds
+        // memo across the pool first so a cold large suite does not
+        // serialize that phase on this thread (the memo is
+        // single-flight and deterministic, so this only moves work).
+        std::vector<std::size_t> distinctLoops;
+        {
+            std::vector<bool> seen(suite.size(), false);
+            for (const std::size_t i : order) {
+                const std::size_t loop = std::size_t(jobs[i].loop);
+                if (!seen[loop]) {
+                    seen[loop] = true;
+                    distinctLoops.push_back(loop);
+                }
+            }
+        }
+        parallelFor(distinctLoops.size(), [&](std::size_t k) {
+            (void)bounds(suite[distinctLoops[k]].graph, m);
+        });
+
+        // Heaviest-first. The costs are deterministic, and the sort is
+        // stable with index-order tie-breaking, so the plan — like the
+        // results — is identical at any thread count.
+        std::vector<double> cost(jobs.size(), 0.0);
+        for (const std::size_t i : order)
+            cost[i] = jobCost(suite, m, jobs[i]);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return cost[a] > cost[b];
+                         });
+    }
+    return order;
+}
+
 std::vector<PipelineResult>
 SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
-                 const std::vector<BatchJob> &jobs)
+                 const std::vector<BatchJob> &jobs,
+                 const RunOptions &opts)
 {
     for (const BatchJob &job : jobs) {
         SWP_ASSERT(job.loop >= 0 && std::size_t(job.loop) < suite.size(),
@@ -229,36 +328,79 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                    " outside the ", suite.size(), "-loop suite");
     }
 
+    const std::vector<std::size_t> order =
+        planJobOrder(suite, m, jobs, opts);
+
+    // Heaviest-first ordering balances by starting long jobs early, so
+    // it wants the finest claiming grain; fixed-policy batches trade
+    // balance for fewer claims on the shared counter.
+    const std::size_t chunk =
+        opts.chunk == ChunkPolicy::Auto
+            ? 1
+            : std::max<std::size_t>(
+                  1, order.size() / (std::size_t(threads_) * 8));
+
     std::vector<PipelineResult> results(jobs.size());
-    dispatch(jobs.size(), [&]() -> Worker {
-        // Per-worker scheduler objects, reused across every job this
-        // worker executes (shared_ptr so the returned closure owns
-        // them).
-        std::shared_ptr<ModuloScheduler> hrms =
-            makeScheduler(SchedulerKind::Hrms);
-        std::shared_ptr<ModuloScheduler> ims =
-            makeScheduler(SchedulerKind::Ims);
-        return [this, &suite, &m, &jobs, &results, hrms,
-                ims](std::size_t i) {
-            const BatchJob &job = jobs[i];
-            const Ddg &g = suite[std::size_t(job.loop)].graph;
-            const LoopBounds b = bounds(g, m);
+    dispatch(
+        order.size(),
+        [&]() -> Worker {
+            // Per-worker scheduler objects, reused across every job
+            // this worker executes (shared_ptr so the returned closure
+            // owns them).
+            std::shared_ptr<ModuloScheduler> hrms =
+                makeScheduler(SchedulerKind::Hrms);
+            std::shared_ptr<ModuloScheduler> ims =
+                makeScheduler(SchedulerKind::Ims);
+            return [this, &suite, &m, &jobs, &results, &order, hrms,
+                    ims](std::size_t k) {
+                const std::size_t i = order[k];
+                const BatchJob &job = jobs[i];
+                const Ddg &g = suite[std::size_t(job.loop)].graph;
+                const LoopBounds b = bounds(g, m);
 
-            EvalContext ctx;
-            const SchedulerKind kind = job.options.scheduler;
-            ctx.scheduler =
-                kind == SchedulerKind::Ims ? ims.get() : hrms.get();
-            ctx.imsFallback = ims.get();
-            ctx.knownMii = b.mii;
-            ctx.memo = memoizeSchedules_ ? &scheduleMemo_ : nullptr;
+                EvalContext ctx;
+                const SchedulerKind kind = job.options.scheduler;
+                ctx.scheduler =
+                    kind == SchedulerKind::Ims ? ims.get() : hrms.get();
+                ctx.imsFallback = ims.get();
+                ctx.knownMii = b.mii;
+                ctx.memo = memoizeSchedules_ ? &scheduleMemo_ : nullptr;
 
-            results[i] =
-                job.ideal
-                    ? pipelineIdeal(g, m, kind, &ctx)
-                    : pipelineLoop(g, m, job.strategy, job.options, &ctx);
-        };
-    });
+                results[i] = job.ideal
+                                 ? pipelineIdeal(g, m, kind, &ctx)
+                                 : pipelineLoop(g, m, job.strategy,
+                                                job.options, &ctx);
+            };
+        },
+        chunk);
     return results;
+}
+
+std::vector<double>
+simulateWorkerLoads(const std::vector<double> &costs,
+                    const std::vector<std::size_t> &order, int workers,
+                    std::size_t chunk)
+{
+    SWP_ASSERT(workers >= 1, "simulateWorkerLoads needs >= 1 worker");
+    SWP_ASSERT(chunk >= 1, "simulateWorkerLoads needs chunk >= 1");
+    std::vector<double> load(std::size_t(workers), 0.0);
+    // Min-heap of (finish time, worker): the earliest-free worker
+    // claims the next chunk, exactly like the pool's shared counter.
+    using Slot = std::pair<double, int>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> free;
+    for (int w = 0; w < workers; ++w)
+        free.push({0.0, w});
+    for (std::size_t base = 0; base < order.size(); base += chunk) {
+        const Slot slot = free.top();
+        free.pop();
+        double sum = 0;
+        const std::size_t end = std::min(base + chunk, order.size());
+        for (std::size_t k = base; k < end; ++k)
+            sum += costs[order[k]];
+        load[std::size_t(slot.second)] += sum;
+        free.push({slot.first + sum, slot.second});
+    }
+    return load;
 }
 
 } // namespace swp

@@ -25,7 +25,23 @@
  *    repeated cells never schedule the same probe twice.
  * All memos are single-flight (two workers never compute one key) and
  * none of them changes results: output is byte-identical with the
- * memos on or off.
+ * memos on or off, at any memo size cap.
+ *
+ * Beyond the thread pool, a batch can be split *across processes*: a
+ * RunOptions::shard spec assigns job index j to shard j mod N, and a
+ * sharded run() evaluates only its own jobs (the others' result slots
+ * are left default-constructed). Because every job is a pure function
+ * of its inputs, the union of N sharded runs equals the unsharded run
+ * slot for slot — src/driver/shard_merge provides the file format and
+ * validating merge the CLI builds on.
+ *
+ * Within a run, jobs are claimed in a work-size-aware order: under the
+ * default ChunkPolicy::Auto the grid is walked heaviest-first, ranked
+ * by a cheap cost estimate (node count x candidate-II span), so a
+ * heavy loop starts early instead of serializing one worker at the
+ * batch's tail. Ordering and chunking only change *when* a job runs,
+ * never its result or its slot, so output stays byte-identical at any
+ * thread count, shard spec, and chunk policy.
  */
 
 #ifndef SWP_DRIVER_SUITE_RUNNER_HH
@@ -44,6 +60,7 @@
 #include <utility>
 #include <vector>
 
+#include "driver/shard_merge.hh"
 #include "machine/machine.hh"
 #include "pipeliner/pipeliner.hh"
 #include "sched/sched_memo.hh"
@@ -66,6 +83,39 @@ struct BatchJob
     PipelinerOptions options;
 };
 
+/** How a batch's jobs are ordered and claimed by the workers. */
+enum class ChunkPolicy
+{
+    /**
+     * Work-size-aware: jobs are walked heaviest-first (by the cost
+     * estimate) and claimed one at a time, so the longest jobs start
+     * earliest and the short tail balances the workers.
+     */
+    Auto,
+
+    /**
+     * Grid order, claimed in fixed contiguous chunks — fewer claims on
+     * the shared counter, no cost ranking. The historical behavior
+     * with chunk size 1.
+     */
+    Fixed,
+};
+
+/** "auto" / "fixed". */
+const char *chunkPolicyName(ChunkPolicy policy);
+
+/** Parse "auto" or "fixed"; false (out untouched) otherwise. */
+bool parseChunkPolicy(const std::string &text, ChunkPolicy &out);
+
+/** Per-run evaluation options; the defaults reproduce run(3 args). */
+struct RunOptions
+{
+    /** Evaluate only this shard's jobs (j mod count == index). */
+    ShardSpec shard;
+
+    ChunkPolicy chunk = ChunkPolicy::Auto;
+};
+
 /** Deterministic worker-pool evaluator for batches of pipeline jobs. */
 class SuiteRunner
 {
@@ -75,8 +125,12 @@ class SuiteRunner
      * memoizeSchedules toggles the schedule memo (results are identical
      * either way; off re-schedules every probe — useful for measuring
      * the memo's effect and for CI's byte-identical diff).
+     * scheduleMemoCap bounds the schedule memo with LRU eviction
+     * (0 = unbounded); results are byte-identical at any cap, evicted
+     * probes are simply re-scheduled on their next request.
      */
-    explicit SuiteRunner(int threads = 1, bool memoizeSchedules = true);
+    explicit SuiteRunner(int threads = 1, bool memoizeSchedules = true,
+                         std::size_t scheduleMemoCap = 0);
     ~SuiteRunner();
 
     SuiteRunner(const SuiteRunner &) = delete;
@@ -119,14 +173,50 @@ class SuiteRunner
 
     /**
      * Evaluate all jobs. results[i] corresponds to jobs[i]; the result
-     * vector is bit-identical at any thread count. Each result's
-     * graph() references the suite entry it was built from unless
-     * spilling transformed the loop, so the suite must outlive the
-     * returned results. Exceptions thrown by a job are rethrown here.
+     * vector is bit-identical at any thread count, shard spec, and
+     * chunk policy. Each result's graph() references the suite entry
+     * it was built from unless spilling transformed the loop, so the
+     * suite must outlive the returned results. Exceptions thrown by a
+     * job are rethrown here.
+     *
+     * With an active opts.shard, only jobs owned by the shard are
+     * evaluated; the other slots are left default-constructed (their
+     * graph() must not be queried). The evaluated slots are
+     * bit-identical to the same slots of an unsharded run.
      */
     std::vector<PipelineResult> run(const std::vector<SuiteLoop> &suite,
                                     const Machine &m,
-                                    const std::vector<BatchJob> &jobs);
+                                    const std::vector<BatchJob> &jobs,
+                                    const RunOptions &opts);
+
+    std::vector<PipelineResult>
+    run(const std::vector<SuiteLoop> &suite, const Machine &m,
+        const std::vector<BatchJob> &jobs)
+    {
+        return run(suite, m, jobs, RunOptions{});
+    }
+
+    /**
+     * Cheap work-size estimate of one job: node count x candidate-II
+     * span (MII through the generous default II cap). It deliberately
+     * ignores the strategy — every strategy's cost is dominated by how
+     * many (II, schedule) probes of how large a graph it may have to
+     * run — and it never schedules anything; the MII comes from the
+     * bounds memo the jobs need anyway.
+     */
+    double jobCost(const std::vector<SuiteLoop> &suite, const Machine &m,
+                   const BatchJob &job);
+
+    /**
+     * The evaluation order run() uses: the indices of the jobs the
+     * shard owns, ranked heaviest-first under ChunkPolicy::Auto and in
+     * grid order under ChunkPolicy::Fixed. Deterministic for a given
+     * (suite, machine, jobs, opts); exposed for the property tests.
+     */
+    std::vector<std::size_t>
+    planJobOrder(const std::vector<SuiteLoop> &suite, const Machine &m,
+                 const std::vector<BatchJob> &jobs,
+                 const RunOptions &opts = {});
 
     /**
      * Deterministic parallel-for: fn(i) for every i in [0, count), in
@@ -149,6 +239,8 @@ class SuiteRunner
     struct PoolTask
     {
         std::size_t count = 0;
+        /** Indices claimed per fetch on the shared counter. */
+        std::size_t chunk = 1;
         /** Owned by the dispatching caller; valid while it waits. */
         const std::function<Worker()> *makeWorker = nullptr;
         std::atomic<std::size_t> next{0};
@@ -169,7 +261,8 @@ class SuiteRunner
     };
 
     void dispatch(std::size_t count,
-                  const std::function<Worker()> &makeWorker) const;
+                  const std::function<Worker()> &makeWorker,
+                  std::size_t chunk = 1) const;
     void ensurePool() const;
     void poolMain() const;
     static void runTask(PoolTask &t);
@@ -206,6 +299,19 @@ class SuiteRunner
     mutable bool shutdown_ = false;
     /// @}
 };
+
+/**
+ * Simulate the pool's claiming discipline: `workers` greedy workers
+ * consume `order` left to right, `chunk` indices per claim, each job
+ * costing costs[order[k]]; returns each worker's total simulated busy
+ * time. This is the model behind the chunk-policy property tests —
+ * it lets the load-balance claim ("heaviest-first ordering shrinks the
+ * makespan of a heavy-tailed grid") be asserted deterministically,
+ * without racing real threads.
+ */
+std::vector<double> simulateWorkerLoads(const std::vector<double> &costs,
+                                        const std::vector<std::size_t> &order,
+                                        int workers, std::size_t chunk);
 
 } // namespace swp
 

@@ -21,6 +21,7 @@
 #ifndef SWP_SCHED_SCHED_MEMO_HH
 #define SWP_SCHED_SCHED_MEMO_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -47,16 +48,29 @@ inline constexpr bool kVerifyMemoKeys = false;
 inline constexpr bool kVerifyMemoKeys = true;
 #endif
 
-/** Thread-safe, single-flight cache of scheduleAt outcomes. */
+/**
+ * Thread-safe, single-flight cache of scheduleAt outcomes.
+ *
+ * capacity == 0 (the default) keeps every probe for the life of the
+ * process — the right trade for one-shot grid evaluations. A positive
+ * capacity bounds the memo with LRU eviction (the `--memo-cap` flag of
+ * the harnesses) for long-lived services: an evicted probe is simply
+ * re-scheduled on its next request, so results are byte-identical at
+ * any cap, and the stats() eviction counter reports the churn.
+ */
 class ScheduleMemo
 {
   public:
     using Stats = SingleFlightStats;
 
-    explicit ScheduleMemo(bool verifyKeys = kVerifyMemoKeys)
-        : verifyKeys_(verifyKeys)
+    explicit ScheduleMemo(bool verifyKeys = kVerifyMemoKeys,
+                          std::size_t capacity = 0)
+        : verifyKeys_(verifyKeys), cache_(capacity)
     {
     }
+
+    /** The LRU size cap (0 = unbounded). */
+    std::size_t capacity() const { return cache_.capacity(); }
 
     /**
      * inner.scheduleAt(g, m, ii), memoized. The first caller of a key

@@ -1,6 +1,7 @@
 /**
  * @file
- * A thread-safe memo cache with single-flight computation.
+ * A thread-safe memo cache with single-flight computation and an
+ * optional LRU size cap.
  *
  * The batch driver's memos (MII/RecMII bounds, schedule probes) are hit
  * by every worker of the pool. A plain check-compute-insert memo lets
@@ -9,15 +10,27 @@
  * insertion time instead: exactly one caller computes each key while
  * the others block on that entry, so duplicate computation is
  * structurally impossible. The stats() counters expose that guarantee
- * to the tests (computes == entries always).
+ * to the tests (computes == entries + evictions always).
+ *
+ * A capacity of 0 (the default) keeps every entry forever — right for
+ * one-shot grid evaluations, where the working set is the grid. A
+ * positive capacity bounds the map with least-recently-used eviction
+ * for long-lived services embedding the driver: entries are evicted
+ * coldest-first once the cap is exceeded, in-flight computations are
+ * never evicted (their waiters hold the entry alive and single-flight
+ * must keep arbitrating them), and an evicted key is simply recomputed
+ * on its next request — eviction can change how much work is done,
+ * never any result.
  */
 
 #ifndef SWP_SUPPORT_SINGLEFLIGHT_HH
 #define SWP_SUPPORT_SINGLEFLIGHT_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,20 +46,33 @@ struct SingleFlightStats
     long requests = 0;
     /** Computations actually run (failed ones included). */
     long computes = 0;
-    /** Distinct keys cached; computes - entries counts duplicates. */
+    /** Distinct keys currently cached. */
     long entries = 0;
+    /** Entries dropped by the LRU cap. Absent failed computations
+        (which count in computes but leave no entry),
+        computes - entries - evictions counts duplicate computations —
+        provably zero. */
+    long evictions = 0;
 };
 
 /**
  * Map from Key to Value where each key's value is computed exactly
- * once, by the first requester; concurrent requesters for the same key
- * wait for that computation instead of repeating it.
+ * once per residency, by the first requester; concurrent requesters for
+ * the same key wait for that computation instead of repeating it.
  */
 template <typename Key, typename Value>
 class SingleFlightCache
 {
   public:
     using Stats = SingleFlightStats;
+
+    /** capacity == 0 means unbounded (no eviction). */
+    explicit SingleFlightCache(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {
+    }
+
+    std::size_t capacity() const { return capacity_; }
 
     /**
      * The cached value for key; when absent, compute() fills it. The
@@ -55,7 +81,7 @@ class SingleFlightCache
      * — the hook where callers verify the hit (e.g. a debug key
      * collision check). A compute() exception propagates to every
      * caller waiting on the entry and the key is dropped, so a later
-     * request retries.
+     * request retries. Every lookup refreshes the key's LRU position.
      */
     template <typename Compute, typename OnHit>
     Value
@@ -66,12 +92,16 @@ class SingleFlightCache
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++requests_;
-            std::shared_ptr<Entry> &slot = map_[key];
-            if (!slot) {
-                slot = std::make_shared<Entry>();
+            Slot &slot = map_[key];
+            if (!slot.entry) {
+                slot.entry = std::make_shared<Entry>();
+                lru_.push_front(key);
+                slot.lruIt = lru_.begin();
                 owner = true;
+            } else {
+                lru_.splice(lru_.begin(), lru_, slot.lruIt);
             }
-            entry = slot;
+            entry = slot.entry;
         }
 
         if (owner) {
@@ -86,14 +116,16 @@ class SingleFlightCache
                 std::lock_guard<std::mutex> lock(entry->m);
                 entry->value = std::move(value);
                 entry->error = error;
-                entry->done = true;
+                entry->done.store(true, std::memory_order_release);
             }
             entry->cv.notify_all();
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++computes_;
                 if (error)
-                    map_.erase(key);
+                    eraseIfEntry(key, entry);
+                else
+                    enforceCapacity();
             }
             if (error)
                 std::rethrow_exception(error);
@@ -101,7 +133,9 @@ class SingleFlightCache
         }
 
         std::unique_lock<std::mutex> lock(entry->m);
-        entry->cv.wait(lock, [&] { return entry->done; });
+        entry->cv.wait(lock, [&] {
+            return entry->done.load(std::memory_order_acquire);
+        });
         if (entry->error)
             std::rethrow_exception(entry->error);
         onHit(static_cast<const Value &>(entry->value));
@@ -112,7 +146,7 @@ class SingleFlightCache
     stats() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return {requests_, computes_, long(map_.size())};
+        return {requests_, computes_, long(map_.size()), evictions_};
     }
 
     void
@@ -120,6 +154,7 @@ class SingleFlightCache
     {
         std::lock_guard<std::mutex> lock(mutex_);
         map_.clear();
+        lru_.clear();
     }
 
   private:
@@ -127,15 +162,67 @@ class SingleFlightCache
     {
         std::mutex m;
         std::condition_variable cv;
-        bool done = false;
+        /** Atomic so the eviction scan can read it under the map lock
+            alone (writes happen under this entry's own mutex). */
+        std::atomic<bool> done{false};
         Value value{};
         std::exception_ptr error;
     };
 
+    struct Slot
+    {
+        std::shared_ptr<Entry> entry;
+        typename std::list<Key>::iterator lruIt;
+    };
+
+    /**
+     * Drop key from the map and the LRU list, but only while it still
+     * maps to `e` (map lock held). A failed computation's entry may
+     * have been evicted and replaced by a fresh in-flight slot in the
+     * window between the compute and this cleanup; erasing blindly
+     * would strand that successor's single-flight arbitration.
+     */
+    void
+    eraseIfEntry(const Key &key, const std::shared_ptr<Entry> &e)
+    {
+        const auto it = map_.find(key);
+        if (it == map_.end() || it->second.entry != e)
+            return;
+        lru_.erase(it->second.lruIt);
+        map_.erase(it);
+    }
+
+    /**
+     * Evict coldest done entries until the cap is met (map lock held).
+     * In-flight entries are skipped: their waiters must keep finding
+     * the shared entry, and a cache full of in-flight work is simply
+     * allowed to exceed the cap until those computations land.
+     */
+    void
+    enforceCapacity()
+    {
+        if (capacity_ == 0)
+            return;
+        auto it = lru_.end();
+        while (map_.size() > capacity_ && it != lru_.begin()) {
+            --it;
+            const auto slot = map_.find(*it);
+            if (!slot->second.entry->done.load(std::memory_order_acquire))
+                continue;
+            map_.erase(slot);
+            it = lru_.erase(it);
+            ++evictions_;
+        }
+    }
+
+    std::size_t capacity_ = 0;
     mutable std::mutex mutex_;
-    std::map<Key, std::shared_ptr<Entry>> map_;
+    std::map<Key, Slot> map_;
+    /** Front = most recently used. */
+    std::list<Key> lru_;
     long requests_ = 0;
     long computes_ = 0;
+    long evictions_ = 0;
 };
 
 } // namespace swp

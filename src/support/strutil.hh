@@ -42,6 +42,9 @@ bool parseIntInRange(const std::string &s, int lo, int hi, int &out);
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** JSON string literal: quoted, with control characters escaped. */
+std::string jsonQuote(const std::string &s);
+
 } // namespace swp
 
 #endif // SWP_SUPPORT_STRUTIL_HH

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -346,6 +349,223 @@ TEST(SuiteRunner, ZeroThreadsSelectsHardwareConcurrency)
 {
     SuiteRunner runner(0);
     EXPECT_GE(runner.threads(), 1);
+}
+
+TEST(SuiteRunner, ChunkPoliciesShardsAndThreadsAllAgree)
+{
+    // Ordering, chunking, and sharding change when (and where) a job
+    // runs — never its result: every combination agrees slot for slot
+    // with the serial baseline on the slots it evaluated.
+    const std::vector<SuiteLoop> suite = testSuite(10);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner serial(1);
+    const auto baseline = serial.run(suite, m, jobs);
+
+    for (const ChunkPolicy chunk :
+         {ChunkPolicy::Auto, ChunkPolicy::Fixed}) {
+        for (const int threads : {1, 4}) {
+            for (const int shards : {1, 3}) {
+                for (int s = 0; s < shards; ++s) {
+                    SuiteRunner runner(threads);
+                    RunOptions opts;
+                    opts.shard = ShardSpec{s, shards};
+                    opts.chunk = chunk;
+                    const auto results =
+                        runner.run(suite, m, jobs, opts);
+                    ASSERT_EQ(results.size(), jobs.size());
+                    for (std::size_t i = 0; i < jobs.size(); ++i) {
+                        if (opts.shard.owns(i))
+                            expectIdenticalResults(baseline[i],
+                                                   results[i], i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SuiteRunner, PlanJobOrderIsAHeaviestFirstPermutation)
+{
+    const std::vector<SuiteLoop> suite = testSuite(24);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+    SuiteRunner runner(1);
+
+    RunOptions opts;  // Auto policy, no shard.
+    const std::vector<std::size_t> order =
+        runner.planJobOrder(suite, m, jobs, opts);
+    ASSERT_EQ(order.size(), jobs.size());
+    std::vector<bool> seen(jobs.size(), false);
+    double prev = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : order) {
+        ASSERT_LT(i, jobs.size());
+        EXPECT_FALSE(seen[i]) << "index " << i << " planned twice";
+        seen[i] = true;
+        const double cost = runner.jobCost(suite, m, jobs[i]);
+        EXPECT_LE(cost, prev) << "order is not heaviest-first at " << i;
+        prev = cost;
+    }
+
+    // The plan is deterministic, sharded plans partition it, and the
+    // fixed policy preserves grid order.
+    EXPECT_EQ(order, runner.planJobOrder(suite, m, jobs, opts));
+    for (int s = 0; s < 3; ++s) {
+        RunOptions sharded;
+        sharded.shard = ShardSpec{s, 3};
+        for (const std::size_t i :
+             runner.planJobOrder(suite, m, jobs, sharded))
+            EXPECT_TRUE(sharded.shard.owns(i));
+    }
+    RunOptions fixed;
+    fixed.chunk = ChunkPolicy::Fixed;
+    const std::vector<std::size_t> gridOrder =
+        runner.planJobOrder(suite, m, jobs, fixed);
+    for (std::size_t k = 0; k < gridOrder.size(); ++k)
+        EXPECT_EQ(gridOrder[k], k);
+}
+
+TEST(SuiteRunner, ChunkingNeverReordersResultsOnRandomGrids)
+{
+    // Property/fuzz over seeded random DDG suites: whatever the cost
+    // model decides, results stay slot-addressed and byte-identical
+    // across policies and thread counts.
+    for (const std::uint64_t seed : {1ull, 99ull, 0xdecafull}) {
+        SuiteParams params;
+        params.seed = seed;
+        params.numLoops = 8;
+        const std::vector<SuiteLoop> suite = generateSuite(params);
+        const Machine m = Machine::p1l4();
+        const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+        SuiteRunner serial(1);
+        const auto baseline = serial.run(suite, m, jobs);
+        for (const ChunkPolicy chunk :
+             {ChunkPolicy::Auto, ChunkPolicy::Fixed}) {
+            SuiteRunner pooled(4);
+            RunOptions opts;
+            opts.chunk = chunk;
+            const auto results = pooled.run(suite, m, jobs, opts);
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                expectIdenticalResults(baseline[i], results[i], i);
+        }
+    }
+}
+
+TEST(SuiteRunner, HeaviestFirstOrderingImprovesHeavyTailLoadSpread)
+{
+    // The load-balance claim behind ChunkPolicy::Auto, asserted on the
+    // claiming-discipline model: on a heavy-tailed grid whose heavy
+    // jobs sit at the tail (the pathological case for static
+    // partitioning), heaviest-first ordering with fine-grained claims
+    // strictly shrinks the makespan.
+    const int workers = 4;
+    std::vector<double> costs(64, 1.0);
+    for (std::size_t i = costs.size() - 4; i < costs.size(); ++i)
+        costs[i] = 40.0;  // Heavy tail.
+
+    std::vector<std::size_t> gridOrder(costs.size());
+    std::iota(gridOrder.begin(), gridOrder.end(), 0);
+    std::vector<std::size_t> heavyFirst = gridOrder;
+    std::stable_sort(heavyFirst.begin(), heavyFirst.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return costs[a] > costs[b];
+                     });
+
+    // Static partitioning = grid order claimed in ceil(n/workers)
+    // blocks; the tuned policy = heaviest-first, one job per claim.
+    const std::size_t block =
+        (costs.size() + std::size_t(workers) - 1) / std::size_t(workers);
+    const std::vector<double> staticLoads =
+        simulateWorkerLoads(costs, gridOrder, workers, block);
+    const std::vector<double> autoLoads =
+        simulateWorkerLoads(costs, heavyFirst, workers, 1);
+
+    const auto makespan = [](const std::vector<double> &loads) {
+        return *std::max_element(loads.begin(), loads.end());
+    };
+    EXPECT_LT(makespan(autoLoads), makespan(staticLoads));
+
+    // Both disciplines execute all the work exactly once.
+    const double total =
+        std::accumulate(costs.begin(), costs.end(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        std::accumulate(staticLoads.begin(), staticLoads.end(), 0.0),
+        total);
+    EXPECT_DOUBLE_EQ(
+        std::accumulate(autoLoads.begin(), autoLoads.end(), 0.0),
+        total);
+
+    // And on the real cost model: the heaviest-first plan of a real
+    // grid never yields a worse simulated makespan than grid order at
+    // the same (fine) claiming grain.
+    const std::vector<SuiteLoop> suite = testSuite(32);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+    SuiteRunner runner(1);
+    std::vector<double> gridCosts(jobs.size());
+    std::vector<std::size_t> byIndex(jobs.size());
+    std::iota(byIndex.begin(), byIndex.end(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        gridCosts[i] = runner.jobCost(suite, m, jobs[i]);
+    const std::vector<std::size_t> planned =
+        runner.planJobOrder(suite, m, jobs);
+    EXPECT_LE(makespan(simulateWorkerLoads(gridCosts, planned, workers,
+                                           1)),
+              makespan(simulateWorkerLoads(gridCosts, byIndex, workers,
+                                           1)));
+}
+
+TEST(SuiteRunner, MemoCapLruMatchesUncappedByteForByte)
+{
+    // The --memo-cap regression: a tightly capped memo evicts and
+    // recomputes, yet every result matches the uncapped run, and the
+    // single-flight guarantee survives eviction (computes accounts for
+    // exactly the resident entries plus the evicted ones — never a
+    // duplicate in-flight computation).
+    const std::vector<SuiteLoop> suite = testSuite(12);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner uncapped(3, true);
+    SuiteRunner capped(3, true, 8);
+    EXPECT_EQ(capped.scheduleMemo().capacity(), 8u);
+
+    const auto a = uncapped.run(suite, m, jobs);
+    const auto b = capped.run(suite, m, jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdenticalResults(a[i], b[i], i);
+
+    const SingleFlightStats capStats = capped.memoStats().schedule;
+    EXPECT_GT(capStats.evictions, 0)
+        << "an 8-entry cap on this grid must evict";
+    EXPECT_LE(capStats.entries, 8);
+    EXPECT_EQ(capStats.computes, capStats.entries + capStats.evictions)
+        << "eviction broke the single-flight accounting";
+
+    const SingleFlightStats fullStats = uncapped.memoStats().schedule;
+    EXPECT_EQ(fullStats.evictions, 0);
+
+    // A second pass still agrees (evicted entries recompute the same
+    // outcomes). The uncapped memo serves it entirely from cache; the
+    // capped one must recompute what it evicted.
+    const auto c = capped.run(suite, m, jobs);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdenticalResults(a[i], c[i], i);
+    (void)uncapped.run(suite, m, jobs);
+    EXPECT_EQ(uncapped.memoStats().schedule.computes,
+              fullStats.computes);
+    EXPECT_GT(capped.memoStats().schedule.computes, capStats.computes)
+        << "evicted entries must be recomputed on re-request";
+
+    SuiteRunner roomy(3, true, 1 << 20);
+    const auto d = roomy.run(suite, m, jobs);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdenticalResults(a[i], d[i], i);
+    EXPECT_EQ(roomy.memoStats().schedule.evictions, 0);
+    EXPECT_EQ(roomy.memoStats().schedule.computes, fullStats.computes);
 }
 
 TEST(SuiteRunner, ResultsReferenceSuiteGraphsUnlessTransformed)

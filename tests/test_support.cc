@@ -10,6 +10,7 @@
 
 #include "support/diag.hh"
 #include "support/rng.hh"
+#include "support/singleflight.hh"
 #include "support/stats.hh"
 #include "support/strutil.hh"
 #include "support/table.hh"
@@ -156,6 +157,100 @@ TEST(Stats, StopwatchAdvances)
     for (long i = 0; i < 100000; ++i)
         x = x + i;
     EXPECT_GT(sw.seconds(), 0.0);
+}
+
+namespace
+{
+
+/** getOrCompute with a counting compute and a no-op hit hook. */
+int
+cachedSquare(SingleFlightCache<int, int> &cache, int key, int &computes)
+{
+    return cache.getOrCompute(
+        key,
+        [&]() {
+            ++computes;
+            return key * key;
+        },
+        [](const int &) {});
+}
+
+} // namespace
+
+TEST(SingleFlight, UnboundedCacheNeverEvicts)
+{
+    SingleFlightCache<int, int> cache;
+    int computes = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (int k = 0; k < 50; ++k)
+            EXPECT_EQ(cachedSquare(cache, k, computes), k * k);
+    }
+    EXPECT_EQ(computes, 50);
+    const SingleFlightStats s = cache.stats();
+    EXPECT_EQ(s.requests, 150);
+    EXPECT_EQ(s.computes, 50);
+    EXPECT_EQ(s.entries, 50);
+    EXPECT_EQ(s.evictions, 0);
+}
+
+TEST(SingleFlight, CapacityEvictsLeastRecentlyUsed)
+{
+    SingleFlightCache<int, int> cache(2);
+    int computes = 0;
+    cachedSquare(cache, 1, computes);
+    cachedSquare(cache, 2, computes);
+    cachedSquare(cache, 1, computes);  // Touch 1: now 2 is coldest.
+    cachedSquare(cache, 3, computes);  // Evicts 2.
+    EXPECT_EQ(computes, 3);
+    EXPECT_EQ(cache.stats().entries, 2);
+    EXPECT_EQ(cache.stats().evictions, 1);
+
+    // 1 survived (served from cache), 2 was evicted (recomputed).
+    cachedSquare(cache, 1, computes);
+    EXPECT_EQ(computes, 3);
+    EXPECT_EQ(cachedSquare(cache, 2, computes), 4);
+    EXPECT_EQ(computes, 4);
+}
+
+TEST(SingleFlight, EvictedKeysRecomputeTheSameValue)
+{
+    SingleFlightCache<int, int> cache(4);
+    int computes = 0;
+    for (int k = 0; k < 64; ++k)
+        EXPECT_EQ(cachedSquare(cache, k, computes), k * k);
+    for (int k = 0; k < 64; ++k)
+        EXPECT_EQ(cachedSquare(cache, k, computes), k * k);
+    const SingleFlightStats s = cache.stats();
+    EXPECT_LE(s.entries, 4);
+    EXPECT_GT(s.evictions, 0);
+    // Single-flight accounting survives eviction: every computation
+    // either still sits in the map or was evicted — nothing was
+    // computed twice while resident.
+    EXPECT_EQ(s.computes, s.entries + s.evictions);
+}
+
+TEST(SingleFlight, FailedComputationsRetryAndDoNotPoison)
+{
+    SingleFlightCache<int, int> cache(2);
+    int calls = 0;
+    const auto failing = [&]() -> int {
+        ++calls;
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(cache.getOrCompute(7, failing, [](const int &) {}),
+                 std::runtime_error);
+    int computes = 0;
+    EXPECT_EQ(cachedSquare(cache, 7, computes), 49);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(computes, 1);
+}
+
+TEST(Strutil, JsonQuoteEscapes)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+    EXPECT_EQ(jsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
 }
 
 } // namespace
