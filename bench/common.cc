@@ -425,12 +425,18 @@ writeBenchJson(const std::string &benchName)
             << ", \"count\": " << opts.shard.count << "},\n";
     }
     if (opts.memoCap > 0) {
-        const SingleFlightStats s = suiteRunner().memoStats().schedule;
+        const SuiteRunner::MemoStats ms = suiteRunner().memoStats();
+        const SingleFlightStats &s = ms.schedule;
+        const SingleFlightStats &b = ms.bounds;
         out << "  \"memo\": {\"cap\": " << opts.memoCap
             << ", \"shard\": " << jsonQuote(formatShardSpec(opts.shard))
             << ", \"requests\": " << s.requests << ", \"computes\": "
             << s.computes << ", \"entries\": " << s.entries
-            << ", \"evictions\": " << s.evictions << "},\n";
+            << ", \"evictions\": " << s.evictions
+            << ",\n           \"bounds\": {\"requests\": " << b.requests
+            << ", \"computes\": " << b.computes << ", \"entries\": "
+            << b.entries << ", \"evictions\": " << b.evictions
+            << "}},\n";
     }
 
     out << "  \"metrics\": {";

@@ -44,14 +44,15 @@ namespace swp::benchutil
  *                    byte-identical either way; 0 re-schedules every
  *                    (graph, machine, II) probe, for measuring the
  *                    memo's effect and for CI's determinism diff.
- *   --memo-cap <n>   LRU size cap on the schedule memo (default 0 =
- *                    unbounded). Results are byte-identical at any
- *                    cap; capped runs report eviction stats in the
- *                    --json output (the stats stanza itself is
- *                    observability: its counters depend on worker
- *                    interleaving at >1 thread, like the wall-clock
- *                    columns, and is no part of the byte-identity
- *                    guarantee).
+ *   --memo-cap <n>   LRU size cap on the schedule memo and on the
+ *                    MII/RecMII bounds memo (default 0 = unbounded),
+ *                    so no memo in the process is unbounded. Results
+ *                    are byte-identical at any cap; capped runs report
+ *                    both memos' eviction stats in the --json output
+ *                    (the stats stanza itself is observability: its
+ *                    counters depend on worker interleaving at >1
+ *                    thread, like the wall-clock columns, and is no
+ *                    part of the byte-identity guarantee).
  *   --chunk <auto|fixed>  job ordering/chunking policy (default auto
  *                    = heaviest loops first). Results are
  *                    byte-identical either way.

@@ -82,6 +82,41 @@ BM_ImsAtMii(benchmark::State &state)
 BENCHMARK(BM_ImsAtMii)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
 
 void
+BM_HrmsIiSweep(benchmark::State &state)
+{
+    // Eight consecutive scheduleAt probes of one loop against one
+    // scheduler object — the shape of a spill driver's II search. This
+    // is the scheduleAt-dominated workload the reusable workspace and
+    // the recurrence-decomposition cache target: every probe after the
+    // first reuses the scratch buffers and the cached cyclic SCCs.
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    const int lower = mii(loop.graph, m);
+    HrmsScheduler hrms;
+    for (auto _ : state) {
+        for (int ii = lower; ii < lower + 8; ++ii)
+            benchmark::DoNotOptimize(hrms.scheduleAt(loop.graph, m, ii));
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_HrmsIiSweep)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
+BM_ImsIiSweep(benchmark::State &state)
+{
+    const SuiteLoop &loop = loopOfSize(int(state.range(0)));
+    const Machine m = Machine::p2l4();
+    const int lower = mii(loop.graph, m);
+    ImsScheduler ims;
+    for (auto _ : state) {
+        for (int ii = lower; ii < lower + 8; ++ii)
+            benchmark::DoNotOptimize(ims.scheduleAt(loop.graph, m, ii));
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ImsIiSweep)->Arg(8)->Arg(24)->Arg(48)->Arg(80);
+
+void
 BM_RotatingAllocation(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));

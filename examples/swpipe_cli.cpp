@@ -33,6 +33,7 @@
  *   --memo 0|1                    schedule memoization (default 1);
  *                                 output is byte-identical either way
  *   --memo-cap N                  LRU size cap on the schedule memo
+ *                                 and the MII/RecMII bounds memo
  *                                 (default 0 = unbounded); output is
  *                                 byte-identical at any cap
  *   --chunk auto|fixed            job ordering/chunking policy (default

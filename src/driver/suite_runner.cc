@@ -55,9 +55,10 @@ struct TaskScope
 } // namespace
 
 SuiteRunner::SuiteRunner(int threads, bool memoizeSchedules,
-                         std::size_t scheduleMemoCap)
+                         std::size_t memoCap)
     : memoizeSchedules_(memoizeSchedules),
-      scheduleMemo_(kVerifyMemoKeys, scheduleMemoCap)
+      boundsCache_(memoCap),
+      scheduleMemo_(kVerifyMemoKeys, memoCap)
 {
     if (threads <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();

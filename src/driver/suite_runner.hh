@@ -125,12 +125,15 @@ class SuiteRunner
      * memoizeSchedules toggles the schedule memo (results are identical
      * either way; off re-schedules every probe — useful for measuring
      * the memo's effect and for CI's byte-identical diff).
-     * scheduleMemoCap bounds the schedule memo with LRU eviction
-     * (0 = unbounded); results are byte-identical at any cap, evicted
-     * probes are simply re-scheduled on their next request.
+     * memoCap bounds *both* process-lifetime memos — the schedule memo
+     * and the MII/RecMII bounds memo — with LRU eviction (0 =
+     * unbounded), so a service embedding the driver against an
+     * unbounded stream of distinct loops holds no unbounded map.
+     * Results are byte-identical at any cap; an evicted probe or bound
+     * is simply recomputed on its next request.
      */
     explicit SuiteRunner(int threads = 1, bool memoizeSchedules = true,
-                         std::size_t scheduleMemoCap = 0);
+                         std::size_t memoCap = 0);
     ~SuiteRunner();
 
     SuiteRunner(const SuiteRunner &) = delete;

@@ -225,6 +225,22 @@ class Ddg
     /** Live in-edge ids of a node. */
     std::vector<EdgeId> inEdges(NodeId n) const;
 
+    /** @name Raw adjacency (dead edges included, no allocation).
+        The scheduler inner loops iterate these and test edge(e).alive
+        themselves instead of paying a filtered vector per query. */
+    /// @{
+    const std::vector<EdgeId> &
+    outEdgeIds(NodeId n) const
+    {
+        return core_->out[std::size_t(n)];
+    }
+    const std::vector<EdgeId> &
+    inEdgeIds(NodeId n) const
+    {
+        return core_->in[std::size_t(n)];
+    }
+    /// @}
+
     /** Live register-flow out-edges: the uses of n's value. */
     std::vector<EdgeId> valueUses(NodeId n) const;
 

@@ -7,92 +7,101 @@
 namespace swp
 {
 
-namespace
+AdjScc
+stronglyConnectedComponents(const std::vector<std::vector<int>> &succ,
+                            int numNodes)
 {
-
-/** Iterative Tarjan to avoid deep recursion on long dependence chains. */
-struct TarjanState
-{
-    const Ddg &g;
-    SccResult result;
-    std::vector<int> index, lowlink;
-    std::vector<bool> onStack;
-    std::vector<NodeId> stack;
+    const int n = numNodes < 0 ? int(succ.size()) : numNodes;
+    SWP_ASSERT(std::size_t(n) <= succ.size(),
+               "SCC over more nodes than adjacency rows");
+    AdjScc result;
+    result.compOf.assign(std::size_t(n), -1);
+    result.nodes.reserve(std::size_t(n));
+    result.compBegin.push_back(0);
+    std::vector<int> index(std::size_t(n), -1);
+    std::vector<int> lowlink(std::size_t(n), 0);
+    std::vector<bool> onStack(std::size_t(n), false);
+    std::vector<int> stack;
     int nextIndex = 0;
 
-    explicit TarjanState(const Ddg &graph)
-        : g(graph),
-          index(std::size_t(graph.numNodes()), -1),
-          lowlink(std::size_t(graph.numNodes()), 0),
-          onStack(std::size_t(graph.numNodes()), false)
-    {
-        result.compOf.assign(std::size_t(graph.numNodes()), -1);
-    }
-
-    void
-    run(NodeId root)
-    {
-        // Explicit DFS stack of (node, next-successor-cursor).
-        struct Frame { NodeId n; std::vector<EdgeId> succs; std::size_t i; };
-        std::vector<Frame> frames;
-        frames.push_back({root, g.outEdges(root), 0});
-        index[std::size_t(root)] = lowlink[std::size_t(root)] = nextIndex++;
+    // Explicit DFS stack of (node, next-successor-cursor) to avoid deep
+    // recursion on long dependence chains.
+    struct Frame { int n; std::size_t i; };
+    std::vector<Frame> frames;
+    for (int root = 0; root < n; ++root) {
+        if (index[std::size_t(root)] >= 0)
+            continue;
+        frames.push_back({root, 0});
+        index[std::size_t(root)] = lowlink[std::size_t(root)] =
+            nextIndex++;
         stack.push_back(root);
         onStack[std::size_t(root)] = true;
 
         while (!frames.empty()) {
             Frame &f = frames.back();
-            if (f.i < f.succs.size()) {
-                const NodeId w = g.edge(f.succs[f.i++]).dst;
+            const std::vector<int> &succs = succ[std::size_t(f.n)];
+            if (f.i < succs.size()) {
+                const int w = succs[f.i++];
                 if (index[std::size_t(w)] < 0) {
                     index[std::size_t(w)] = lowlink[std::size_t(w)] =
                         nextIndex++;
                     stack.push_back(w);
                     onStack[std::size_t(w)] = true;
-                    frames.push_back({w, g.outEdges(w), 0});
+                    frames.push_back({w, 0});
                 } else if (onStack[std::size_t(w)]) {
                     lowlink[std::size_t(f.n)] = std::min(
                         lowlink[std::size_t(f.n)], index[std::size_t(w)]);
                 }
             } else {
-                const NodeId n = f.n;
+                const int v = f.n;
                 frames.pop_back();
                 if (!frames.empty()) {
-                    const NodeId parent = frames.back().n;
+                    const int parent = frames.back().n;
                     lowlink[std::size_t(parent)] = std::min(
                         lowlink[std::size_t(parent)],
-                        lowlink[std::size_t(n)]);
+                        lowlink[std::size_t(v)]);
                 }
-                if (lowlink[std::size_t(n)] == index[std::size_t(n)]) {
-                    std::vector<NodeId> comp;
-                    NodeId w;
+                if (lowlink[std::size_t(v)] == index[std::size_t(v)]) {
+                    const int comp = int(result.compBegin.size()) - 1;
+                    int w;
                     do {
                         w = stack.back();
                         stack.pop_back();
                         onStack[std::size_t(w)] = false;
-                        result.compOf[std::size_t(w)] =
-                            int(result.comps.size());
-                        comp.push_back(w);
-                    } while (w != n);
-                    result.comps.push_back(std::move(comp));
+                        result.compOf[std::size_t(w)] = comp;
+                        result.nodes.push_back(w);
+                    } while (w != v);
+                    result.compBegin.push_back(int(result.nodes.size()));
                 }
             }
         }
     }
-};
-
-} // namespace
+    return result;
+}
 
 SccResult
 stronglyConnectedComponents(const Ddg &g)
 {
-    TarjanState state(g);
-    for (NodeId n = 0; n < g.numNodes(); ++n) {
-        if (state.index[std::size_t(n)] < 0)
-            state.run(n);
+    // Successor lists in outEdges order: the DFS visits edges exactly
+    // as the historical DDG-walking Tarjan did, so component numbering
+    // and emission order are unchanged.
+    std::vector<std::vector<int>> succ(std::size_t(g.numNodes()));
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        std::vector<int> &out = succ[std::size_t(u)];
+        const auto edges = g.outEdges(u);
+        out.reserve(edges.size());
+        for (EdgeId e : edges)
+            out.push_back(g.edge(e).dst);
     }
+    AdjScc adj = stronglyConnectedComponents(succ);
 
-    SccResult result = std::move(state.result);
+    SccResult result;
+    result.compOf = std::move(adj.compOf);
+    result.comps.reserve(std::size_t(adj.numComps()));
+    for (int c = 0; c < adj.numComps(); ++c) {
+        result.comps.emplace_back(adj.compNodes(c),
+                                  adj.compNodes(c) + adj.compSize(c));
+    }
     result.isRecurrence.assign(std::size_t(result.numComps()), false);
     for (int c = 0; c < result.numComps(); ++c) {
         if (result.comps[std::size_t(c)].size() > 1) {

@@ -16,6 +16,43 @@ namespace swp
 {
 
 /**
+ * Strongly connected components of a plain adjacency list (successor
+ * lists; parallel edges and self-loops allowed). This is the one Tarjan
+ * implementation in the library — the DDG overload and the schedulers'
+ * condensed group graphs all decompose through it.
+ */
+struct AdjScc
+{
+    /** Component index per node, in reverse topological discovery order:
+        an edge between distinct components a -> b has compOf[b] <
+        compOf[a]. */
+    std::vector<int> compOf;
+    /** All nodes grouped by component (flat storage: Tarjan emits each
+        component contiguously, so no per-component vector is needed). */
+    std::vector<int> nodes;
+    /** Offsets into nodes; component c is [compBegin[c], compBegin[c+1]). */
+    std::vector<int> compBegin;
+
+    int numComps() const { return int(compBegin.size()) - 1; }
+    int compSize(int c) const
+    {
+        return compBegin[std::size_t(c) + 1] - compBegin[std::size_t(c)];
+    }
+    const int *compNodes(int c) const
+    {
+        return nodes.data() + compBegin[std::size_t(c)];
+    }
+};
+
+/**
+ * Iterative Tarjan over an adjacency list. numNodes < 0 means all of
+ * succ; a smaller count restricts the run to the first numNodes rows
+ * (reusable workspace adjacency may keep spare rows beyond the graph).
+ */
+AdjScc stronglyConnectedComponents(const std::vector<std::vector<int>> &succ,
+                                   int numNodes = -1);
+
+/**
  * Strongly connected components of the DDG (all live edges considered,
  * regardless of distance). Components with more than one node, or with a
  * self-edge, are recurrences.

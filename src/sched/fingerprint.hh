@@ -30,6 +30,19 @@
 namespace swp
 {
 
+/**
+ * Key verification default for fingerprint-keyed caches: in debug
+ * builds every hit structurally compares the probed graph/machine
+ * against the ones that created the entry, so a 64-bit fingerprint
+ * collision panics instead of silently returning another loop's
+ * result. Release builds trust the hash.
+ */
+#ifdef NDEBUG
+inline constexpr bool kVerifyMemoKeys = false;
+#else
+inline constexpr bool kVerifyMemoKeys = true;
+#endif
+
 /** Incremental FNV-1a hasher for memo keys. */
 class Fingerprint
 {

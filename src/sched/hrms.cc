@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <limits>
 
+#include "ir/graph_algo.hh"
 #include "sched/groups.hh"
 #include "sched/mii.hh"
 #include "sched/mrt.hh"
 #include "sched/sched_util.hh"
+#include "support/bitmatrix.hh"
 #include "support/diag.hh"
 
 namespace swp
@@ -20,30 +22,66 @@ namespace
 constexpr long negInf = schedNegInf;
 constexpr long posInf = schedPosInf;
 
-/** Condensed graph over complex groups. */
-struct GroupGraph
+/**
+ * Scheduling context shared by the ordering and placement phases.
+ *
+ * All sizable state — the condensed group-graph adjacency, the
+ * bit-packed reachability matrices (reach over all edges, its
+ * transpose, and zero-distance-only reach0), the priority buffers and
+ * the MRT — lives in the scheduler's SchedWorkspace and is cleared,
+ * not reallocated, for each probe.
+ */
+struct HrmsContext
 {
-    int n = 0;
-    std::vector<std::vector<int>> succ;
-    std::vector<std::vector<int>> pred;
-    /** Zero-distance-only adjacency (the acyclic intra-iteration part). */
-    std::vector<std::vector<int>> pred0;
-    std::vector<std::vector<int>> succ0;
-    std::vector<std::vector<bool>> reach;
-    /** Reachability through zero-distance edges only. */
-    std::vector<std::vector<bool>> reach0;
+    const Ddg &g;
+    const Machine &m;
+    const int ii;
+    SchedWorkspace &ws;
+    GroupSet groups;
+    int n = 0;  ///< Number of complex groups.
 
-    GroupGraph(const Ddg &g, const GroupSet &groups)
-        : n(groups.numGroups()),
-          succ(std::size_t(n)),
-          pred(std::size_t(n)),
-          pred0(std::size_t(n)),
-          succ0(std::size_t(n))
+    HrmsContext(const Ddg &graph, const Machine &mach, int interval,
+                SchedWorkspace &workspace)
+        : g(graph),
+          m(mach),
+          ii(interval),
+          ws(workspace),
+          groups(graph, mach),
+          n(groups.numGroups())
     {
-        auto addUnique = [](std::vector<int> &v, int x) {
-            if (std::find(v.begin(), v.end(), x) == v.end())
-                v.push_back(x);
-        };
+        buildGroupGraph();
+
+        ws.prio.compute(g, m, ii);
+        ws.gAsap.assign(std::size_t(n), negInf);
+        ws.gHeight.assign(std::size_t(n), negInf);
+        for (NodeId v = 0; v < g.numNodes(); ++v) {
+            const int gi = groups.groupOf(v);
+            const long off = groups.offsetOf(v);
+            ws.gAsap[std::size_t(gi)] =
+                std::max(ws.gAsap[std::size_t(gi)],
+                         ws.prio.asap[std::size_t(v)] - off);
+            ws.gHeight[std::size_t(gi)] =
+                std::max(ws.gHeight[std::size_t(gi)],
+                         ws.prio.height[std::size_t(v)] + off);
+        }
+    }
+
+  private:
+    /**
+     * Build the condensed graph over complex groups: deduplicated
+     * adjacency (duplicate (a, b) pairs are filtered by a bit matrix
+     * instead of a linear scan), plus transitive reachability as
+     * word-packed bit rows.
+     */
+    void
+    buildGroupGraph()
+    {
+        ws.succ.reset(n);
+        ws.pred.reset(n);
+        ws.succ0.reset(n);
+        ws.pred0.reset(n);
+        ws.edgeSeen.reset(n, n);
+        ws.edgeSeen0.reset(n, n);
         for (EdgeId e = 0; e < g.numEdges(); ++e) {
             const Edge &edge = g.edge(e);
             if (!edge.alive)
@@ -52,130 +90,56 @@ struct GroupGraph
             const int b = groups.groupOf(edge.dst);
             if (a == b)
                 continue;
-            addUnique(succ[std::size_t(a)], b);
-            addUnique(pred[std::size_t(b)], a);
-            if (edge.distance == 0) {
-                addUnique(pred0[std::size_t(b)], a);
-                addUnique(succ0[std::size_t(a)], b);
+            if (!ws.edgeSeen.test(a, b)) {
+                ws.edgeSeen.set(a, b);
+                ws.succ[a].push_back(b);
+                ws.pred[b].push_back(a);
+            }
+            if (edge.distance == 0 && !ws.edgeSeen0.test(a, b)) {
+                ws.edgeSeen0.set(a, b);
+                ws.pred0[b].push_back(a);
+                ws.succ0[a].push_back(b);
             }
         }
-        reach = bfsReach(succ);
-        reach0 = bfsReach(succ0);
+
+        buildReach(ws.succ, ws.reach);
+        buildReach(ws.succ0, ws.reach0);
+
+        // Transpose of reach, for "is v reachable from any of set S"
+        // queries (a column of reach is a row of the transpose).
+        ws.reachT.reset(n, n);
+        for (int s = 0; s < n; ++s) {
+            const std::uint64_t *row = ws.reach.row(s);
+            for (int w = 0; w < ws.reach.wordsPerRow(); ++w) {
+                std::uint64_t bits = row[w];
+                while (bits) {
+                    const int v = w * 64 + countTrailingZeros(bits);
+                    bits &= bits - 1;
+                    ws.reachT.set(v, s);
+                }
+            }
+        }
     }
 
-  private:
-    std::vector<std::vector<bool>>
-    bfsReach(const std::vector<std::vector<int>> &adj) const
+    /** out[s] = set of groups reachable from s through adj (s itself
+        only when on a cycle). */
+    void
+    buildReach(const ScratchAdj &adj, BitMatrix &out)
     {
-        std::vector<std::vector<bool>> out(
-            static_cast<std::size_t>(n),
-            std::vector<bool>(static_cast<std::size_t>(n)));
+        out.reset(n, n);
         for (int s = 0; s < n; ++s) {
-            std::vector<int> stack = {s};
-            while (!stack.empty()) {
-                const int u = stack.back();
-                stack.pop_back();
-                for (int v : adj[std::size_t(u)]) {
-                    if (!out[std::size_t(s)][std::size_t(v)]) {
-                        out[std::size_t(s)][std::size_t(v)] = true;
-                        stack.push_back(v);
+            ws.dfsStack.clear();
+            ws.dfsStack.push_back(s);
+            while (!ws.dfsStack.empty()) {
+                const int u = ws.dfsStack.back();
+                ws.dfsStack.pop_back();
+                for (const int v : adj[u]) {
+                    if (!out.test(s, v)) {
+                        out.set(s, v);
+                        ws.dfsStack.push_back(v);
                     }
                 }
             }
-        }
-        return out;
-    }
-};
-
-/** Strongly connected components of the group graph (iterative Tarjan). */
-std::vector<std::vector<int>>
-groupSccs(const GroupGraph &gg)
-{
-    std::vector<int> index(std::size_t(gg.n), -1);
-    std::vector<int> lowlink(std::size_t(gg.n), 0);
-    std::vector<bool> onStack(std::size_t(gg.n), false);
-    std::vector<int> stack;
-    std::vector<std::vector<int>> comps;
-    int next = 0;
-
-    struct Frame { int v; std::size_t i; };
-    for (int root = 0; root < gg.n; ++root) {
-        if (index[std::size_t(root)] >= 0)
-            continue;
-        std::vector<Frame> frames = {{root, 0}};
-        index[std::size_t(root)] = lowlink[std::size_t(root)] = next++;
-        stack.push_back(root);
-        onStack[std::size_t(root)] = true;
-        while (!frames.empty()) {
-            Frame &f = frames.back();
-            const auto &succs = gg.succ[std::size_t(f.v)];
-            if (f.i < succs.size()) {
-                const int w = succs[f.i++];
-                if (index[std::size_t(w)] < 0) {
-                    index[std::size_t(w)] = lowlink[std::size_t(w)] =
-                        next++;
-                    stack.push_back(w);
-                    onStack[std::size_t(w)] = true;
-                    frames.push_back({w, 0});
-                } else if (onStack[std::size_t(w)]) {
-                    lowlink[std::size_t(f.v)] = std::min(
-                        lowlink[std::size_t(f.v)], index[std::size_t(w)]);
-                }
-            } else {
-                const int v = f.v;
-                frames.pop_back();
-                if (!frames.empty()) {
-                    lowlink[std::size_t(frames.back().v)] =
-                        std::min(lowlink[std::size_t(frames.back().v)],
-                                 lowlink[std::size_t(v)]);
-                }
-                if (lowlink[std::size_t(v)] == index[std::size_t(v)]) {
-                    std::vector<int> comp;
-                    int w;
-                    do {
-                        w = stack.back();
-                        stack.pop_back();
-                        onStack[std::size_t(w)] = false;
-                        comp.push_back(w);
-                    } while (w != v);
-                    comps.push_back(std::move(comp));
-                }
-            }
-        }
-    }
-    return comps;
-}
-
-/** Scheduling context shared by the ordering and placement phases. */
-struct HrmsContext
-{
-    const Ddg &g;
-    const Machine &m;
-    const int ii;
-    GroupSet groups;
-    GroupGraph gg;
-    NodePriorities prio;
-    std::vector<long> gAsap;    ///< Anchor-relative group ASAP.
-    std::vector<long> gHeight;  ///< Anchor-relative group height.
-
-    HrmsContext(const Ddg &graph, const Machine &mach, int interval)
-        : g(graph),
-          m(mach),
-          ii(interval),
-          groups(graph, mach),
-          gg(graph, groups),
-          prio(graph, mach, interval),
-          gAsap(std::size_t(groups.numGroups()), negInf),
-          gHeight(std::size_t(groups.numGroups()), negInf)
-    {
-        for (NodeId v = 0; v < g.numNodes(); ++v) {
-            const int gi = groups.groupOf(v);
-            const long off = groups.offsetOf(v);
-            gAsap[std::size_t(gi)] = std::max(
-                gAsap[std::size_t(gi)], prio.asap[std::size_t(v)] - off);
-            gHeight[std::size_t(gi)] = std::max(
-                gHeight[std::size_t(gi)],
-                prio.height[std::size_t(v)] + off);
         }
     }
 };
@@ -208,25 +172,29 @@ struct HrmsContext
 class Ordering
 {
   public:
-    explicit Ordering(HrmsContext &ctx) : ctx_(ctx) {}
+    explicit Ordering(HrmsContext &ctx) : ctx_(ctx), ws_(ctx.ws) {}
 
-    std::vector<int>
+    const std::vector<int> &
     run()
     {
-        const int n = ctx_.gg.n;
-        ordered_.assign(std::size_t(n), false);
-        order_.clear();
-        order_.reserve(std::size_t(n));
+        const int n = ctx_.n;
+        ws_.orderedMask.reset(n);
+        ws_.order.clear();
+        ws_.order.reserve(std::size_t(n));
 
         // Recurrences first, most critical first (criticality = RecMII
-        // of the component).
-        auto comps = groupSccs(ctx_.gg);
+        // of the component). The SCC decomposition is the shared
+        // graph-algo Tarjan over the condensed adjacency; only
+        // recurrence components are materialized as vectors.
+        const AdjScc scc = stronglyConnectedComponents(ws_.succ.rows, n);
         std::vector<std::pair<long, std::vector<int>>> recurrences;
-        for (auto &comp : comps) {
-            if (!isRecurrence(comp))
+        for (int c = 0; c < scc.numComps(); ++c) {
+            const int *members = scc.compNodes(c);
+            if (!isRecurrence(members, scc.compSize(c)))
                 continue;
+            std::vector<int> comp(members, members + scc.compSize(c));
             std::vector<NodeId> nodes;
-            for (int gi : comp) {
+            for (const int gi : comp) {
                 const auto &grp = ctx_.groups.group(gi);
                 nodes.insert(nodes.end(), grp.members.begin(),
                              grp.members.end());
@@ -251,15 +219,19 @@ class Ordering
 
         for (const auto &[crit, comp] : recurrences) {
             (void)crit;
-            if (!order_.empty()) {
+            // Membership mask of this recurrence, for the cone tests.
+            ws_.setMask.reset(n);
+            for (const int gi : comp)
+                ws_.setMask.set(gi);
+            if (!ws_.order.empty()) {
                 // Paths ordered-set -> recurrence: only-preds nodes.
                 std::vector<int> forward, backward;
                 for (int v = 0; v < n; ++v) {
-                    if (ordered_[std::size_t(v)] || inSet(v, comp))
+                    if (ws_.orderedMask.test(v) || ws_.setMask.test(v))
                         continue;
-                    if (reachesFromOrdered(v) && reachesSet(v, comp))
+                    if (reachesFromOrdered(v) && reachesIntoSet(v))
                         forward.push_back(v);
-                    else if (reaches(comp, v) && reachesToOrdered(v))
+                    else if (reachableFromSet(v) && reachesToOrdered(v))
                         backward.push_back(v);
                 }
                 absorbTopological(forward);
@@ -282,7 +254,7 @@ class Ordering
             std::vector<int> holes, descendants, ancestors;
             int remaining = 0;
             for (int v = 0; v < n; ++v) {
-                if (ordered_[std::size_t(v)])
+                if (ws_.orderedMask.test(v))
                     continue;
                 ++remaining;
                 const bool below = reachesFromOrdered(v);
@@ -295,7 +267,7 @@ class Ordering
                     ancestors.push_back(v);
             }
             if (remaining == 0)
-                return order_;
+                return ws_.order;
             if (!holes.empty()) {
                 // Only possible through not-yet-ordered recurrence
                 // remnants; order them feasibly (producers first).
@@ -309,13 +281,13 @@ class Ordering
                 // most critical group (longest chain through it).
                 int best = -1;
                 for (int v = 0; v < n; ++v) {
-                    if (ordered_[std::size_t(v)])
+                    if (ws_.orderedMask.test(v))
                         continue;
                     if (best < 0 ||
-                        ctx_.gAsap[std::size_t(v)] +
-                                ctx_.gHeight[std::size_t(v)] >
-                            ctx_.gAsap[std::size_t(best)] +
-                                ctx_.gHeight[std::size_t(best)]) {
+                        ws_.gAsap[std::size_t(v)] +
+                                ws_.gHeight[std::size_t(v)] >
+                            ws_.gAsap[std::size_t(best)] +
+                                ws_.gHeight[std::size_t(best)]) {
                         best = v;
                     }
                 }
@@ -326,67 +298,50 @@ class Ordering
 
   private:
     bool
-    isRecurrence(const std::vector<int> &comp) const
+    isRecurrence(const int *comp, int size) const
     {
-        if (comp.size() > 1)
+        if (size > 1)
             return true;
         const int v = comp[0];
-        const auto &succs = ctx_.gg.succ[std::size_t(v)];
+        const auto &succs = ws_.succ[v];
         return std::find(succs.begin(), succs.end(), v) != succs.end() ||
-               ctx_.gg.reach[std::size_t(v)][std::size_t(v)];
+               ws_.reach.test(v, v);
     }
 
+    /** Some ordered group reaches v (a column of reach = a row of the
+        transpose, intersected with the ordered mask — word-parallel). */
     bool
     reachesFromOrdered(int v) const
     {
-        for (int o : order_) {
-            if (ctx_.gg.reach[std::size_t(o)][std::size_t(v)])
-                return true;
-        }
-        return false;
+        return ws_.reachT.intersects(v, ws_.orderedMask.words());
     }
 
+    /** v reaches some ordered group. */
     bool
     reachesToOrdered(int v) const
     {
-        for (int o : order_) {
-            if (ctx_.gg.reach[std::size_t(v)][std::size_t(o)])
-                return true;
-        }
-        return false;
+        return ws_.reach.intersects(v, ws_.orderedMask.words());
     }
 
+    /** Some member of the current recurrence (setMask) reaches v. */
     bool
-    reaches(const std::vector<int> &from, int v) const
+    reachableFromSet(int v) const
     {
-        for (int s : from) {
-            if (ctx_.gg.reach[std::size_t(s)][std::size_t(v)])
-                return true;
-        }
-        return false;
+        return ws_.reachT.intersects(v, ws_.setMask.words());
     }
 
+    /** v reaches some member of the current recurrence (setMask). */
     bool
-    reachesSet(int v, const std::vector<int> &to) const
+    reachesIntoSet(int v) const
     {
-        for (int t : to) {
-            if (ctx_.gg.reach[std::size_t(v)][std::size_t(t)])
-                return true;
-        }
-        return false;
+        return ws_.reach.intersects(v, ws_.setMask.words());
     }
 
     void
     append(int v)
     {
-        ordered_[std::size_t(v)] = true;
-        order_.push_back(v);
-    }
-
-    bool
-    inSet(int v, const std::vector<int> &set) const
-    {
-        return std::find(set.begin(), set.end(), v) != set.end();
+        ws_.orderedMask.set(v);
+        ws_.order.push_back(v);
     }
 
     /**
@@ -402,9 +357,9 @@ class Ordering
     {
         auto reaches0 = [&](const std::vector<int> &from,
                             const std::vector<int> &to) {
-            for (int a : from) {
-                for (int b : to) {
-                    if (ctx_.gg.reach0[std::size_t(a)][std::size_t(b)])
+            for (const int a : from) {
+                for (const int b : to) {
+                    if (ws_.reach0.test(a, b))
                         return true;
                 }
             }
@@ -443,11 +398,11 @@ class Ordering
     sortByCriticality(std::vector<int> &set) const
     {
         std::stable_sort(set.begin(), set.end(), [&](int a, int b) {
-            if (ctx_.gAsap[std::size_t(a)] != ctx_.gAsap[std::size_t(b)])
-                return ctx_.gAsap[std::size_t(a)] <
-                       ctx_.gAsap[std::size_t(b)];
-            return ctx_.gHeight[std::size_t(a)] >
-                   ctx_.gHeight[std::size_t(b)];
+            if (ws_.gAsap[std::size_t(a)] != ws_.gAsap[std::size_t(b)])
+                return ws_.gAsap[std::size_t(a)] <
+                       ws_.gAsap[std::size_t(b)];
+            return ws_.gHeight[std::size_t(a)] >
+                   ws_.gHeight[std::size_t(b)];
         });
     }
 
@@ -459,19 +414,19 @@ class Ordering
     absorbZeroDistanceTopological(std::vector<int> set)
     {
         sortByCriticality(set);
-        std::vector<bool> inSetFlag(std::size_t(ctx_.gg.n), false);
-        for (int v : set)
-            inSetFlag[std::size_t(v)] = true;
-        std::vector<bool> done(std::size_t(ctx_.gg.n), false);
+        ws_.inSetFlag.assign(std::size_t(ctx_.n), 0);
+        for (const int v : set)
+            ws_.inSetFlag[std::size_t(v)] = 1;
+        ws_.doneFlag.assign(std::size_t(ctx_.n), 0);
         for (std::size_t placed = 0; placed < set.size(); ++placed) {
             int pick = -1;
-            for (int v : set) {
-                if (done[std::size_t(v)])
+            for (const int v : set) {
+                if (ws_.doneFlag[std::size_t(v)])
                     continue;
                 bool ready = true;
-                for (int p : ctx_.gg.pred0[std::size_t(v)]) {
-                    if (inSetFlag[std::size_t(p)] &&
-                        !done[std::size_t(p)] && p != v) {
+                for (const int p : ws_.pred0[v]) {
+                    if (ws_.inSetFlag[std::size_t(p)] &&
+                        !ws_.doneFlag[std::size_t(p)] && p != v) {
                         ready = false;
                         break;
                     }
@@ -483,7 +438,7 @@ class Ordering
             }
             SWP_ASSERT(pick >= 0,
                        "zero-distance cycle inside a recurrence");
-            done[std::size_t(pick)] = true;
+            ws_.doneFlag[std::size_t(pick)] = 1;
             append(pick);
         }
     }
@@ -497,19 +452,19 @@ class Ordering
     absorbTopological(std::vector<int> set)
     {
         sortByCriticality(set);
-        std::vector<bool> inSetFlag(std::size_t(ctx_.gg.n), false);
-        for (int v : set)
-            inSetFlag[std::size_t(v)] = true;
-        std::vector<bool> done(std::size_t(ctx_.gg.n), false);
+        ws_.inSetFlag.assign(std::size_t(ctx_.n), 0);
+        for (const int v : set)
+            ws_.inSetFlag[std::size_t(v)] = 1;
+        ws_.doneFlag.assign(std::size_t(ctx_.n), 0);
         for (std::size_t placed = 0; placed < set.size(); ++placed) {
             int pick = -1;
-            for (int v : set) {
-                if (done[std::size_t(v)])
+            for (const int v : set) {
+                if (ws_.doneFlag[std::size_t(v)])
                     continue;
                 bool ready = true;
-                for (int p : ctx_.gg.pred[std::size_t(v)]) {
-                    if (inSetFlag[std::size_t(p)] &&
-                        !done[std::size_t(p)] && p != v) {
+                for (const int p : ws_.pred[v]) {
+                    if (ws_.inSetFlag[std::size_t(p)] &&
+                        !ws_.doneFlag[std::size_t(p)] && p != v) {
                         ready = false;
                         break;
                     }
@@ -521,14 +476,14 @@ class Ordering
             }
             if (pick < 0) {
                 // Cycle: take the most critical remaining node.
-                for (int v : set) {
-                    if (!done[std::size_t(v)]) {
+                for (const int v : set) {
+                    if (!ws_.doneFlag[std::size_t(v)]) {
                         pick = v;
                         break;
                     }
                 }
             }
-            done[std::size_t(pick)] = true;
+            ws_.doneFlag[std::size_t(pick)] = 1;
             append(pick);
         }
     }
@@ -542,25 +497,25 @@ class Ordering
     {
         // Latest groups first: descending ASAP, ascending height.
         std::stable_sort(set.begin(), set.end(), [&](int a, int b) {
-            if (ctx_.gAsap[std::size_t(a)] != ctx_.gAsap[std::size_t(b)])
-                return ctx_.gAsap[std::size_t(a)] >
-                       ctx_.gAsap[std::size_t(b)];
-            return ctx_.gHeight[std::size_t(a)] <
-                   ctx_.gHeight[std::size_t(b)];
+            if (ws_.gAsap[std::size_t(a)] != ws_.gAsap[std::size_t(b)])
+                return ws_.gAsap[std::size_t(a)] >
+                       ws_.gAsap[std::size_t(b)];
+            return ws_.gHeight[std::size_t(a)] <
+                   ws_.gHeight[std::size_t(b)];
         });
-        std::vector<bool> inSetFlag(std::size_t(ctx_.gg.n), false);
-        for (int v : set)
-            inSetFlag[std::size_t(v)] = true;
-        std::vector<bool> done(std::size_t(ctx_.gg.n), false);
+        ws_.inSetFlag.assign(std::size_t(ctx_.n), 0);
+        for (const int v : set)
+            ws_.inSetFlag[std::size_t(v)] = 1;
+        ws_.doneFlag.assign(std::size_t(ctx_.n), 0);
         for (std::size_t placed = 0; placed < set.size(); ++placed) {
             int pick = -1;
-            for (int v : set) {
-                if (done[std::size_t(v)])
+            for (const int v : set) {
+                if (ws_.doneFlag[std::size_t(v)])
                     continue;
                 bool ready = true;
-                for (int s : ctx_.gg.succ[std::size_t(v)]) {
-                    if (inSetFlag[std::size_t(s)] &&
-                        !done[std::size_t(s)] && s != v) {
+                for (const int s : ws_.succ[v]) {
+                    if (ws_.inSetFlag[std::size_t(s)] &&
+                        !ws_.doneFlag[std::size_t(s)] && s != v) {
                         ready = false;
                         break;
                     }
@@ -571,21 +526,20 @@ class Ordering
                 }
             }
             if (pick < 0) {
-                for (int v : set) {
-                    if (!done[std::size_t(v)]) {
+                for (const int v : set) {
+                    if (!ws_.doneFlag[std::size_t(v)]) {
                         pick = v;
                         break;
                     }
                 }
             }
-            done[std::size_t(pick)] = true;
+            ws_.doneFlag[std::size_t(pick)] = 1;
             append(pick);
         }
     }
 
     HrmsContext &ctx_;
-    std::vector<bool> ordered_;
-    std::vector<int> order_;
+    SchedWorkspace &ws_;
 };
 
 /** The placement phase. */
@@ -593,9 +547,10 @@ std::optional<Schedule>
 place(HrmsContext &ctx, const std::vector<int> &order)
 {
     Schedule sched(ctx.ii, ctx.g.numNodes());
-    Mrt mrt(ctx.m, ctx.ii);
+    Mrt &mrt = ctx.ws.mrt;
+    mrt.reset(ctx.m, ctx.ii);
 
-    for (int gi : order) {
+    for (const int gi : order) {
         const ComplexGroup &grp = ctx.groups.group(gi);
 
         long early = negInf;
@@ -605,9 +560,10 @@ place(HrmsContext &ctx, const std::vector<int> &order)
         for (std::size_t i = 0; i < grp.members.size(); ++i) {
             const NodeId v = grp.members[i];
             const long off = grp.offsets[i];
-            for (EdgeId e : ctx.g.inEdges(v)) {
+            for (EdgeId e : ctx.g.inEdgeIds(v)) {
                 const Edge &edge = ctx.g.edge(e);
-                if (ctx.groups.groupOf(edge.src) == gi ||
+                if (!edge.alive ||
+                    ctx.groups.groupOf(edge.src) == gi ||
                     !sched.scheduled(edge.src)) {
                     continue;
                 }
@@ -617,9 +573,10 @@ place(HrmsContext &ctx, const std::vector<int> &order)
                                    long(ctx.ii) * edge.distance - off;
                 early = std::max(early, bound);
             }
-            for (EdgeId e : ctx.g.outEdges(v)) {
+            for (EdgeId e : ctx.g.outEdgeIds(v)) {
                 const Edge &edge = ctx.g.edge(e);
-                if (ctx.groups.groupOf(edge.dst) == gi ||
+                if (!edge.alive ||
+                    ctx.groups.groupOf(edge.dst) == gi ||
                     !sched.scheduled(edge.dst)) {
                     continue;
                 }
@@ -655,7 +612,7 @@ place(HrmsContext &ctx, const std::vector<int> &order)
                 }
             }
         } else {
-            const long start = ctx.gAsap[std::size_t(gi)];
+            const long start = ctx.ws.gAsap[std::size_t(gi)];
             for (long t = start; t < start + ctx.ii; ++t) {
                 if (mrt.placeGroup(ctx.g, grp, int(t), sched)) {
                     placed = true;
@@ -700,15 +657,15 @@ HrmsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
 {
     if (g.numNodes() == 0)
         return std::nullopt;
-    if (!iiFeasibleForRecurrences(g, m, ii))
+    if (!iiFeasibleForRecurrences(g, m, ii, ws_.recurrences))
         return std::nullopt;
 
-    HrmsContext ctx(g, m, ii);
+    HrmsContext ctx(g, m, ii, ws_);
     if (!groupsInternallyFeasible(g, m, ctx.groups, ii))
         return std::nullopt;
 
     Ordering ordering(ctx);
-    const std::vector<int> order = ordering.run();
+    const std::vector<int> &order = ordering.run();
     SWP_ASSERT(int(order.size()) == ctx.groups.numGroups(),
                "HRMS ordering lost groups");
 
@@ -725,7 +682,7 @@ HrmsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
 std::vector<int>
 HrmsScheduler::orderingForTest(const Ddg &g, const Machine &m, int ii)
 {
-    HrmsContext ctx(g, m, ii);
+    HrmsContext ctx(g, m, ii, ws_);
     Ordering ordering(ctx);
     return ordering.run();
 }

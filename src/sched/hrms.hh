@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sched/scheduler.hh"
+#include "sched/workspace.hh"
 
 namespace swp
 {
@@ -49,6 +50,10 @@ class HrmsScheduler : public ModuloScheduler
      */
     std::vector<int> orderingForTest(const Ddg &g, const Machine &m,
                                      int ii);
+
+  private:
+    /** Scratch reused across probes; carries no cross-probe state. */
+    SchedWorkspace ws_;
 };
 
 } // namespace swp

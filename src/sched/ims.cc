@@ -16,19 +16,22 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
 {
     if (g.numNodes() == 0)
         return std::nullopt;
-    if (!iiFeasibleForRecurrences(g, m, ii))
+    if (!iiFeasibleForRecurrences(g, m, ii, ws_.recurrences))
         return std::nullopt;
 
     const GroupSet groups(g, m);
     if (!groupsInternallyFeasible(g, m, groups, ii))
         return std::nullopt;
 
-    const NodePriorities prio(g, m, ii);
+    ws_.prio.compute(g, m, ii);
+    const NodePriorities &prio = ws_.prio;
     const int ng = groups.numGroups();
 
     // Group priority: the tallest member, anchor-adjusted.
-    std::vector<long> gHeight(std::size_t(ng), schedNegInf);
-    std::vector<long> gAsap(std::size_t(ng), schedNegInf);
+    std::vector<long> &gHeight = ws_.gHeight;
+    std::vector<long> &gAsap = ws_.gAsap;
+    gHeight.assign(std::size_t(ng), schedNegInf);
+    gAsap.assign(std::size_t(ng), schedNegInf);
     for (NodeId v = 0; v < g.numNodes(); ++v) {
         const int gi = groups.groupOf(v);
         gHeight[std::size_t(gi)] = std::max(
@@ -40,10 +43,13 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
     }
 
     Schedule sched(ii, g.numNodes());
-    Mrt mrt(m, ii);
+    Mrt &mrt = ws_.mrt;
+    mrt.reset(m, ii);
 
-    std::vector<bool> placed(std::size_t(ng), false);
-    std::vector<long> lastTime(std::size_t(ng), schedNegInf);
+    std::vector<char> &placed = ws_.placed;
+    std::vector<long> &lastTime = ws_.lastTime;
+    placed.assign(std::size_t(ng), 0);
+    lastTime.assign(std::size_t(ng), schedNegInf);
     int unplacedCount = ng;
     long budget = long(budgetRatio_) * std::max(ng, 8);
 
@@ -66,7 +72,7 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
         mrt.removeGroup(g, groups.group(gi), sched);
         for (NodeId v : groups.group(gi).members)
             sched.clear(v);
-        placed[std::size_t(gi)] = false;
+        placed[std::size_t(gi)] = 0;
         ++unplacedCount;
     };
 
@@ -82,9 +88,10 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
         for (std::size_t i = 0; i < grp.members.size(); ++i) {
             const NodeId v = grp.members[i];
             const long off = grp.offsets[i];
-            for (EdgeId e : g.inEdges(v)) {
+            for (EdgeId e : g.inEdgeIds(v)) {
                 const Edge &edge = g.edge(e);
-                if (groups.groupOf(edge.src) == gi ||
+                if (!edge.alive ||
+                    groups.groupOf(edge.src) == gi ||
                     !sched.scheduled(edge.src)) {
                     continue;
                 }
@@ -110,12 +117,13 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
             chosen = std::max(early, lastTime[std::size_t(gi)] + 1);
 
             // Evict every group holding a resource this group needs.
-            std::vector<int> evict;
+            std::vector<int> &evict = ws_.evict;
+            evict.clear();
             for (std::size_t i = 0; i < grp.members.size(); ++i) {
                 const NodeId v = grp.members[i];
                 const long t = chosen + grp.offsets[i];
-                for (NodeId blocker :
-                     mrt.conflicts(g.node(v).op, int(t))) {
+                mrt.conflicts(g.node(v).op, int(t), ws_.blockers);
+                for (NodeId blocker : ws_.blockers) {
                     const int bg = groups.groupOf(blocker);
                     if (bg != gi &&
                         std::find(evict.begin(), evict.end(), bg) ==
@@ -134,7 +142,7 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
             // longer than II interfering with itself); give up.
             return std::nullopt;
         }
-        placed[std::size_t(gi)] = true;
+        placed[std::size_t(gi)] = 1;
         --unplacedCount;
         lastTime[std::size_t(gi)] = chosen;
 
@@ -142,8 +150,10 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
         for (std::size_t i = 0; i < grp.members.size(); ++i) {
             const NodeId v = grp.members[i];
             const long tv = chosen + grp.offsets[i];
-            for (EdgeId e : g.outEdges(v)) {
+            for (EdgeId e : g.outEdgeIds(v)) {
                 const Edge &edge = g.edge(e);
+                if (!edge.alive)
+                    continue;
                 const int dg = groups.groupOf(edge.dst);
                 if (dg == gi || !sched.scheduled(edge.dst))
                     continue;

@@ -19,6 +19,7 @@
 #define SWP_SCHED_IMS_HH
 
 #include "sched/scheduler.hh"
+#include "sched/workspace.hh"
 
 namespace swp
 {
@@ -39,6 +40,8 @@ class ImsScheduler : public ModuloScheduler
 
   private:
     int budgetRatio_;
+    /** Scratch reused across probes; carries no cross-probe state. */
+    SchedWorkspace ws_;
 };
 
 } // namespace swp

@@ -1,8 +1,11 @@
 #include "sched/mii.hh"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
+#include "ir/graph_algo.hh"
+#include "sched/fingerprint.hh"
 #include "support/diag.hh"
 
 namespace swp
@@ -51,35 +54,45 @@ namespace
 {
 
 /**
- * Bellman-Ford positive-cycle detection with edge weight
- * latency(src) - II * distance. A positive cycle exists iff some
- * dependence cycle needs more than II cycles per iteration.
+ * One cyclic region (an SCC with a cycle, or an explicit node subset)
+ * with its internal live edges renumbered to local indices: the whole
+ * RecMII computation for the region touches only these edges, so one
+ * Bellman-Ford sweep costs O(region) instead of O(graph).
+ */
+struct CyclicRegion
+{
+    struct LocalEdge
+    {
+        int src = 0;
+        int dst = 0;
+        long latency = 0;
+        long distance = 0;
+    };
+
+    int numNodes = 0;
+    std::vector<LocalEdge> edges;
+    /** Sum of member latencies: RecMII of the region is below this, so
+        latencySum + 1 is always a feasible II for it. */
+    long latencySum = 0;
+};
+
+/**
+ * Bellman-Ford positive-cycle detection restricted to one region, with
+ * edge weight latency - II * distance (longest-path relaxation from a
+ * virtual source connected to every member with weight 0). A positive
+ * cycle exists iff some dependence cycle of the region needs more than
+ * II cycles per iteration.
  */
 bool
-hasPositiveCycle(const Ddg &g, const Machine &m, int ii,
-                 const std::vector<bool> *inSubset)
+hasPositiveCycle(const CyclicRegion &r, long ii, std::vector<long> &dist)
 {
-    const int n = g.numNodes();
-    // Longest-path relaxation from a virtual source connected to all
-    // nodes with weight 0.
-    std::vector<long> dist(std::size_t(n), 0);
-    for (int iter = 0; iter < n; ++iter) {
+    dist.assign(std::size_t(r.numNodes), 0);
+    for (int iter = 0; iter < r.numNodes; ++iter) {
         bool changed = false;
-        for (EdgeId e = 0; e < g.numEdges(); ++e) {
-            const Edge &edge = g.edge(e);
-            if (!edge.alive)
-                continue;
-            if (inSubset &&
-                (!(*inSubset)[std::size_t(edge.src)] ||
-                 !(*inSubset)[std::size_t(edge.dst)])) {
-                continue;
-            }
-            const long w =
-                m.latency(g.node(edge.src).op) - long(ii) * edge.distance;
-            if (dist[std::size_t(edge.src)] + w >
-                dist[std::size_t(edge.dst)]) {
-                dist[std::size_t(edge.dst)] =
-                    dist[std::size_t(edge.src)] + w;
+        for (const CyclicRegion::LocalEdge &e : r.edges) {
+            const long w = e.latency - ii * e.distance;
+            if (dist[std::size_t(e.src)] + w > dist[std::size_t(e.dst)]) {
+                dist[std::size_t(e.dst)] = dist[std::size_t(e.src)] + w;
                 changed = true;
             }
         }
@@ -89,31 +102,107 @@ hasPositiveCycle(const Ddg &g, const Machine &m, int ii,
     return true;
 }
 
-int
-recMiiImpl(const Ddg &g, const Machine &m,
-           const std::vector<bool> *inSubset)
+/**
+ * Smallest II at which the region admits no positive cycle, given that
+ * `lo` does admit one (binary search; `lo` is infeasible throughout).
+ */
+long
+searchRegionRecMii(const CyclicRegion &r, long lo, std::vector<long> &dist)
 {
-    // Upper bound: sum of latencies (a cycle of distance >= 1 per edge
-    // cannot require more).
-    long hi = 1;
-    for (NodeId n = 0; n < g.numNodes(); ++n) {
-        if (inSubset && !(*inSubset)[std::size_t(n)])
-            continue;
-        hi += m.latency(g.node(n).op);
-    }
-
-    if (!hasPositiveCycle(g, m, 1, inSubset))
-        return 1;
-
-    long lo = 1;  // infeasible
+    long hi = r.latencySum + 1;
     while (lo + 1 < hi) {
         const long mid = lo + (hi - lo) / 2;
-        if (hasPositiveCycle(g, m, int(mid), inSubset))
+        if (hasPositiveCycle(r, mid, dist))
             lo = mid;
         else
             hi = mid;
     }
-    return int(hi);
+    return hi;
+}
+
+/**
+ * Decompose the graph into its cyclic SCCs over live edges. Every
+ * dependence cycle lies inside exactly one of the returned regions, so
+ * RecMII questions decompose into per-region questions.
+ */
+std::vector<CyclicRegion>
+cyclicRegions(const Ddg &g, const Machine &m)
+{
+    const int n = g.numNodes();
+    std::vector<std::vector<int>> adj;
+    adj.resize(std::size_t(n));
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (edge.alive)
+            adj[std::size_t(edge.src)].push_back(edge.dst);
+    }
+    const AdjScc scc = stronglyConnectedComponents(adj);
+
+    std::vector<bool> cyclic(std::size_t(scc.numComps()), false);
+    for (int c = 0; c < scc.numComps(); ++c)
+        cyclic[std::size_t(c)] = scc.compSize(c) > 1;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (edge.alive && edge.src == edge.dst)
+            cyclic[std::size_t(scc.compOf[std::size_t(edge.src)])] = true;
+    }
+
+    std::vector<int> regionOf(std::size_t(scc.numComps()), -1);
+    std::vector<int> localId(std::size_t(n), -1);
+    std::vector<CyclicRegion> regions;
+    for (int c = 0; c < scc.numComps(); ++c) {
+        if (!cyclic[std::size_t(c)])
+            continue;
+        regionOf[std::size_t(c)] = int(regions.size());
+        regions.emplace_back();
+        CyclicRegion &r = regions.back();
+        const int *members = scc.compNodes(c);
+        for (int i = 0; i < scc.compSize(c); ++i) {
+            const int v = members[i];
+            localId[std::size_t(v)] = r.numNodes++;
+            r.latencySum += m.latency(g.node(v).op);
+        }
+    }
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (!edge.alive)
+            continue;
+        const int c = scc.compOf[std::size_t(edge.src)];
+        if (c != scc.compOf[std::size_t(edge.dst)] ||
+            regionOf[std::size_t(c)] < 0) {
+            continue;
+        }
+        regions[std::size_t(regionOf[std::size_t(c)])].edges.push_back(
+            {localId[std::size_t(edge.src)], localId[std::size_t(edge.dst)],
+             m.latency(g.node(edge.src).op), long(edge.distance)});
+    }
+    return regions;
+}
+
+/** One region over an explicit node subset (its internal live edges). */
+CyclicRegion
+subsetRegion(const Ddg &g, const Machine &m,
+             const std::vector<NodeId> &nodes)
+{
+    std::vector<int> localId(std::size_t(g.numNodes()), -1);
+    CyclicRegion r;
+    for (const NodeId v : nodes) {
+        if (localId[std::size_t(v)] >= 0)
+            continue;
+        localId[std::size_t(v)] = r.numNodes++;
+        r.latencySum += m.latency(g.node(v).op);
+    }
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (!edge.alive || localId[std::size_t(edge.src)] < 0 ||
+            localId[std::size_t(edge.dst)] < 0) {
+            continue;
+        }
+        r.edges.push_back(
+            {localId[std::size_t(edge.src)], localId[std::size_t(edge.dst)],
+             m.latency(g.node(edge.src).op), long(edge.distance)});
+    }
+    return r;
 }
 
 } // namespace
@@ -121,17 +210,30 @@ recMiiImpl(const Ddg &g, const Machine &m,
 int
 recMii(const Ddg &g, const Machine &m)
 {
-    return recMiiImpl(g, m, nullptr);
+    // RecMII = max over cyclic SCCs of the component's RecMII. Each
+    // component binary-searches independently over component-local
+    // edges, and a component whose cycles already fit the best bound so
+    // far is dismissed with a single feasibility check (early exit)
+    // instead of a full search.
+    std::vector<long> dist;
+    long best = 1;
+    for (const CyclicRegion &r : cyclicRegions(g, m)) {
+        if (!hasPositiveCycle(r, best, dist))
+            continue;
+        best = searchRegionRecMii(r, best, dist);
+    }
+    return int(best);
 }
 
 int
 recMiiOfComponent(const Ddg &g, const Machine &m,
                   const std::vector<NodeId> &nodes)
 {
-    std::vector<bool> subset(std::size_t(g.numNodes()), false);
-    for (NodeId v : nodes)
-        subset[std::size_t(v)] = true;
-    return recMiiImpl(g, m, &subset);
+    const CyclicRegion r = subsetRegion(g, m, nodes);
+    std::vector<long> dist;
+    if (!hasPositiveCycle(r, 1, dist))
+        return 1;
+    return int(searchRegionRecMii(r, 1, dist));
 }
 
 int
@@ -143,7 +245,70 @@ mii(const Ddg &g, const Machine &m)
 bool
 iiFeasibleForRecurrences(const Ddg &g, const Machine &m, int ii)
 {
-    return !hasPositiveCycle(g, m, ii, nullptr);
+    std::vector<long> dist;
+    for (const CyclicRegion &r : cyclicRegions(g, m)) {
+        if (hasPositiveCycle(r, ii, dist))
+            return false;
+    }
+    return true;
+}
+
+/** The cached decomposition plus its Bellman-Ford scratch. The Ddg and
+    Machine copies (O(1), copy-on-write) verify reuses against
+    fingerprint collisions in debug builds. */
+struct RecurrenceCache::Impl
+{
+    bool valid = false;
+    std::uint64_t graphFp = 0;
+    std::uint64_t machineFp = 0;
+    std::vector<CyclicRegion> regions;
+    std::vector<long> dist;
+    std::optional<Ddg> graph;
+    std::optional<Machine> machine;
+};
+
+RecurrenceCache::RecurrenceCache() = default;
+RecurrenceCache::~RecurrenceCache() = default;
+RecurrenceCache::RecurrenceCache(RecurrenceCache &&) noexcept = default;
+RecurrenceCache &
+RecurrenceCache::operator=(RecurrenceCache &&) noexcept = default;
+
+bool
+iiFeasibleForRecurrences(const Ddg &g, const Machine &m, int ii,
+                         RecurrenceCache &cache)
+{
+    if (!cache.impl_)
+        cache.impl_ = std::make_unique<RecurrenceCache::Impl>();
+    RecurrenceCache::Impl &c = *cache.impl_;
+
+    const std::uint64_t gfp = graphFingerprint(g);
+    const std::uint64_t mfp = machineFingerprint(m);
+    if (!c.valid || c.graphFp != gfp || c.machineFp != mfp) {
+        c.regions = cyclicRegions(g, m);
+        c.graphFp = gfp;
+        c.machineFp = mfp;
+        c.valid = true;
+        if (kVerifyMemoKeys) {
+            c.graph = g;
+            c.machine = m;
+        }
+    } else if (kVerifyMemoKeys) {
+        SWP_ASSERT(c.graph && graphsFingerprintEquivalent(g, *c.graph),
+                   "recurrence cache fingerprint collision: graph '",
+                   g.name(),
+                   "' hit a decomposition of a different graph");
+        SWP_ASSERT(c.machine &&
+                       machinesFingerprintEquivalent(m, *c.machine),
+                   "recurrence cache fingerprint collision: machine '",
+                   m.name(),
+                   "' hit a decomposition of a different machine");
+    }
+
+    for (const CyclicRegion &r : c.regions) {
+        if (hasPositiveCycle(r, ii, c.dist))
+            return false;
+    }
+    return true;
 }
 
 } // namespace swp

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 
+#include "support/bitmatrix.hh"
 #include "support/diag.hh"
 
 namespace swp
 {
 
-Mrt::Mrt(const Machine &m, int ii) : m_(m), ii_(ii)
+void
+Mrt::reset(const Machine &m, int ii)
 {
     SWP_ASSERT(ii >= 1, "MRT needs a positive II");
+    m_ = &m;
+    ii_ = ii;
     int base = 0;
     for (int fu = 0; fu < numFuClasses; ++fu) {
         classBase_[fu] = base;
@@ -18,37 +22,54 @@ Mrt::Mrt(const Machine &m, int ii) : m_(m), ii_(ii)
         const int units =
             m.isUniversal() ? (fu == 0 ? m.unitsFor(FuClass(0)) : 0)
                             : m.unitsFor(FuClass(fu));
+        SWP_ASSERT(units <= 64,
+                   "MRT busy masks hold at most 64 units per class");
         base += units * ii;
     }
     classBase_[numFuClasses] = base;
     occupant_.assign(std::size_t(base), invalidNode);
+    busy_.assign(std::size_t((m.isUniversal() ? 1 : numFuClasses) * ii), 0);
 }
 
 int
 Mrt::cell(FuClass fu, int unit, int row) const
 {
-    const int fi = m_.isUniversal() ? 0 : int(fu);
+    const int fi = m_->isUniversal() ? 0 : int(fu);
     return classBase_[fi] + unit * ii_ + row;
+}
+
+int
+Mrt::maskBase(FuClass fu) const
+{
+    return (m_->isUniversal() ? 0 : int(fu)) * ii_;
+}
+
+std::uint64_t
+Mrt::busyOver(const std::vector<std::uint64_t> &busy, FuClass fu, int t,
+              int occ) const
+{
+    const int base = maskBase(fu);
+    int row = Schedule::floorMod(t, ii_);
+    std::uint64_t mask = 0;
+    for (int c = 0; c < occ; ++c) {
+        mask |= busy[std::size_t(base + row)];
+        if (++row == ii_)
+            row = 0;
+    }
+    return mask;
 }
 
 int
 Mrt::findUnit(Opcode op, int t) const
 {
     const FuClass fu = fuClassOf(op);
-    const int units = m_.unitsFor(fu);
-    const int occ = m_.occupancy(op);
+    const int units = m_->unitsFor(fu);
+    const int occ = m_->occupancy(op);
     if (occ > ii_)
         return -1;
-    for (int u = 0; u < units; ++u) {
-        bool free = true;
-        for (int c = 0; c < occ && free; ++c) {
-            const int row = Schedule::floorMod(t + c, ii_);
-            free = occupant_[std::size_t(cell(fu, u, row))] == invalidNode;
-        }
-        if (free)
-            return u;
-    }
-    return -1;
+    const std::uint64_t free =
+        ~busyOver(busy_, fu, t, occ) & lowBitsMask(units);
+    return free ? countTrailingZeros(free) : -1;
 }
 
 int
@@ -58,10 +79,15 @@ Mrt::place(Opcode op, int t, NodeId n)
     if (u < 0)
         return -1;
     const FuClass fu = fuClassOf(op);
-    const int occ = m_.occupancy(op);
+    const int occ = m_->occupancy(op);
+    const int base = maskBase(fu);
+    const std::uint64_t bit = std::uint64_t(1) << u;
+    int row = Schedule::floorMod(t, ii_);
     for (int c = 0; c < occ; ++c) {
-        const int row = Schedule::floorMod(t + c, ii_);
+        busy_[std::size_t(base + row)] |= bit;
         occupant_[std::size_t(cell(fu, u, row))] = n;
+        if (++row == ii_)
+            row = 0;
     }
     return u;
 }
@@ -70,13 +96,18 @@ void
 Mrt::remove(Opcode op, int t, NodeId n, int u)
 {
     const FuClass fu = fuClassOf(op);
-    const int occ = m_.occupancy(op);
+    const int occ = m_->occupancy(op);
+    const int base = maskBase(fu);
+    const std::uint64_t bit = std::uint64_t(1) << u;
+    int row = Schedule::floorMod(t, ii_);
     for (int c = 0; c < occ; ++c) {
-        const int row = Schedule::floorMod(t + c, ii_);
         const int idx = cell(fu, u, row);
         SWP_ASSERT(occupant_[std::size_t(idx)] == n,
                    "MRT remove of non-occupant node ", n);
         occupant_[std::size_t(idx)] = invalidNode;
+        busy_[std::size_t(base + row)] &= ~bit;
+        if (++row == ii_)
+            row = 0;
     }
 }
 
@@ -85,12 +116,30 @@ Mrt::canPlaceGroup(const Ddg &g, const ComplexGroup &grp, int t0) const
 {
     // The members may compete for the same units, so a per-member
     // canPlace() check is insufficient; simulate the placement on a
-    // scratch copy.
-    Mrt scratch(*this);
+    // scratch copy of the busy masks (occupant bookkeeping is not
+    // needed to answer yes/no, so only the masks are copied).
+    groupScratch_.assign(busy_.begin(), busy_.end());
     for (std::size_t i = 0; i < grp.members.size(); ++i) {
-        const NodeId n = grp.members[i];
-        if (scratch.place(g.node(n).op, t0 + grp.offsets[i], n) < 0)
+        const Opcode op = g.node(grp.members[i]).op;
+        const int t = t0 + grp.offsets[i];
+        const FuClass fu = fuClassOf(op);
+        const int occ = m_->occupancy(op);
+        if (occ > ii_)
             return false;
+        const std::uint64_t free =
+            ~busyOver(groupScratch_, fu, t, occ) &
+            lowBitsMask(m_->unitsFor(fu));
+        if (!free)
+            return false;
+        const std::uint64_t bit =
+            std::uint64_t(1) << countTrailingZeros(free);
+        const int base = maskBase(fu);
+        int row = Schedule::floorMod(t, ii_);
+        for (int c = 0; c < occ; ++c) {
+            groupScratch_[std::size_t(base + row)] |= bit;
+            if (++row == ii_)
+                row = 0;
+        }
     }
     return true;
 }
@@ -99,7 +148,7 @@ bool
 Mrt::placeGroup(const Ddg &g, const ComplexGroup &grp, int t0,
                 Schedule &sched)
 {
-    std::vector<int> units(grp.members.size(), -1);
+    unitScratch_.assign(grp.members.size(), -1);
     for (std::size_t i = 0; i < grp.members.size(); ++i) {
         const NodeId n = grp.members[i];
         const int t = t0 + grp.offsets[i];
@@ -108,14 +157,14 @@ Mrt::placeGroup(const Ddg &g, const ComplexGroup &grp, int t0,
             // Roll back the members placed so far.
             for (std::size_t j = 0; j < i; ++j) {
                 remove(g.node(grp.members[j]).op, t0 + grp.offsets[j],
-                       grp.members[j], units[j]);
+                       grp.members[j], unitScratch_[j]);
             }
             return false;
         }
-        units[i] = u;
+        unitScratch_[i] = u;
     }
     for (std::size_t i = 0; i < grp.members.size(); ++i)
-        sched.set(grp.members[i], t0 + grp.offsets[i], int(units[i]));
+        sched.set(grp.members[i], t0 + grp.offsets[i], unitScratch_[i]);
     return true;
 }
 
@@ -128,31 +177,31 @@ Mrt::removeGroup(const Ddg &g, const ComplexGroup &grp,
     }
 }
 
-std::vector<NodeId>
-Mrt::conflicts(Opcode op, int t) const
+void
+Mrt::conflicts(Opcode op, int t, std::vector<NodeId> &out) const
 {
-    const int occ = m_.occupancy(op);
+    out.clear();
+    const int occ = m_->occupancy(op);
     if (occ > ii_) {
         // findUnit can never place this op at this II, no matter what
         // is evicted: reporting "blockers" here would send IMS chasing
         // nodes whose removal cannot help. Consistently report none.
-        return {};
+        return;
     }
     const FuClass fu = fuClassOf(op);
-    const int units = m_.unitsFor(fu);
-    std::vector<NodeId> blockers;
+    const int units = m_->unitsFor(fu);
     for (int u = 0; u < units; ++u) {
+        int row = Schedule::floorMod(t, ii_);
         for (int c = 0; c < occ; ++c) {
-            const int row = Schedule::floorMod(t + c, ii_);
             const NodeId n = occupant_[std::size_t(cell(fu, u, row))];
             if (n != invalidNode &&
-                std::find(blockers.begin(), blockers.end(), n) ==
-                    blockers.end()) {
-                blockers.push_back(n);
+                std::find(out.begin(), out.end(), n) == out.end()) {
+                out.push_back(n);
             }
+            if (++row == ii_)
+                row = 0;
         }
     }
-    return blockers;
 }
 
 } // namespace swp

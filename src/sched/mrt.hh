@@ -8,11 +8,26 @@
  * the paper's machines) are occupied for latency consecutive rows.
  * Placement also supports complex groups: several nodes at fixed offsets
  * placed and released atomically.
+ *
+ * Occupancy is stored twice, for different access patterns:
+ *  - a per-(class, row) uint64_t busy mask (bit u = unit u busy), so the
+ *    hot canPlace/findUnit path is an OR over the op's rows, a mask
+ *    test, and count-trailing-zeros — no occupant scan. One word per
+ *    row caps machines at 64 units per unit class; reset() rejects
+ *    wider machines loudly (the paper's widest configuration has 2);
+ *  - an occupant node per (class, unit, row), the bookkeeping side used
+ *    by remove()'s debug check and conflicts()'s blocker reporting.
+ *
+ * The table is designed for reuse across scheduling probes: reset()
+ * rebinds it to a (machine, II) pair while recycling both stores, so a
+ * scheduler-owned Mrt allocates only when a probe needs more rows than
+ * any probe before it.
  */
 
 #ifndef SWP_SCHED_MRT_HH
 #define SWP_SCHED_MRT_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "ir/ddg.hh"
@@ -27,7 +42,13 @@ namespace swp
 class Mrt
 {
   public:
-    Mrt(const Machine &m, int ii);
+    /** An empty table; reset() must run before any other member. */
+    Mrt() = default;
+
+    Mrt(const Machine &m, int ii) { reset(m, ii); }
+
+    /** Rebind to (machine, II) with every slot free; storage is reused. */
+    void reset(const Machine &m, int ii);
 
     int ii() const { return ii_; }
 
@@ -68,22 +89,43 @@ class Mrt
                      const Schedule &sched);
 
     /**
-     * Occupants that block op at time t (each at most once). Used by
-     * iterative modulo scheduling to decide what to evict. Empty when
-     * the op's occupancy exceeds II (findUnit can never place it, so
-     * no eviction helps), mirroring findUnit's rejection.
+     * Occupants that block op at time t (each at most once), appended
+     * to `out` after clearing it. Used by iterative modulo scheduling
+     * to decide what to evict; the out-parameter form lets the hot
+     * caller reuse one buffer across every eviction query. `out` stays
+     * empty when the op's occupancy exceeds II (findUnit can never
+     * place it, so no eviction helps), mirroring findUnit's rejection.
      */
-    std::vector<NodeId> conflicts(Opcode op, int t) const;
+    void conflicts(Opcode op, int t, std::vector<NodeId> &out) const;
+
+    /** Allocating convenience form of conflicts(). */
+    std::vector<NodeId>
+    conflicts(Opcode op, int t) const
+    {
+        std::vector<NodeId> out;
+        conflicts(op, t, out);
+        return out;
+    }
 
   private:
     int cell(FuClass fu, int unit, int row) const;
+    int maskBase(FuClass fu) const;
+    /** OR of the busy masks over the op's occupancy rows. */
+    std::uint64_t busyOver(const std::vector<std::uint64_t> &busy,
+                           FuClass fu, int t, int occ) const;
 
-    const Machine &m_;
-    int ii_;
+    const Machine *m_ = nullptr;
+    int ii_ = 0;
     /** Occupant node per (class, unit, row); -1 when free. */
     std::vector<NodeId> occupant_;
-    /** Flattened offsets per class. */
-    int classBase_[numFuClasses + 1];
+    /** Busy units per (class, row); bit u set = unit u occupied. */
+    std::vector<std::uint64_t> busy_;
+    /** Flattened occupant offsets per class. */
+    int classBase_[numFuClasses + 1] = {0};
+    /** Scratch copy of busy_ for the group self-competition check. */
+    mutable std::vector<std::uint64_t> groupScratch_;
+    /** Unit indices while a group placement is in flight. */
+    std::vector<int> unitScratch_;
 };
 
 } // namespace swp

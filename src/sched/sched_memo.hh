@@ -29,24 +29,13 @@
 
 #include "ir/ddg.hh"
 #include "machine/machine.hh"
+#include "sched/fingerprint.hh"
 #include "sched/schedule.hh"
 #include "sched/scheduler.hh"
 #include "support/singleflight.hh"
 
 namespace swp
 {
-
-/**
- * Key verification default: in debug builds every memo hit structurally
- * compares the probed graph/machine against the ones that created the
- * entry, so a 64-bit fingerprint collision panics instead of silently
- * returning another loop's schedule. Release builds trust the hash.
- */
-#ifdef NDEBUG
-inline constexpr bool kVerifyMemoKeys = false;
-#else
-inline constexpr bool kVerifyMemoKeys = true;
-#endif
 
 /**
  * Thread-safe, single-flight cache of scheduleAt outcomes.

@@ -5,10 +5,11 @@
 namespace swp
 {
 
-NodePriorities::NodePriorities(const Ddg &g, const Machine &m, int ii)
-    : asap(std::size_t(g.numNodes()), 0),
-      height(std::size_t(g.numNodes()), 0)
+void
+NodePriorities::compute(const Ddg &g, const Machine &m, int ii)
 {
+    asap.assign(std::size_t(g.numNodes()), 0);
+    height.assign(std::size_t(g.numNodes()), 0);
     const int n = g.numNodes();
     for (int iter = 0; iter < n; ++iter) {
         bool changed = false;

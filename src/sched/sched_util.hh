@@ -30,7 +30,16 @@ struct NodePriorities
     std::vector<long> asap;
     std::vector<long> height;
 
-    NodePriorities(const Ddg &g, const Machine &m, int ii);
+    /** Empty; compute() fills it (workspace reuse across probes). */
+    NodePriorities() = default;
+
+    NodePriorities(const Ddg &g, const Machine &m, int ii)
+    {
+        compute(g, m, ii);
+    }
+
+    /** Recompute for (g, m, ii); the buffers are reused, not grown. */
+    void compute(const Ddg &g, const Machine &m, int ii);
 };
 
 /**

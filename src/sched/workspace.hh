@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reusable scheduling workspace.
+ *
+ * A register-constrained pipeline run issues many scheduleAt(ii) probes
+ * against the same scheduler object (the spill driver's II searches,
+ * best-of-all's binary search), and the batch driver reuses one
+ * scheduler per worker thread across all its jobs. SchedWorkspace holds
+ * every sizable scratch structure those probes need — the MRT, the
+ * ASAP/height priority buffers, the HRMS group-graph adjacency and
+ * bit-packed reachability matrices, the ordering and eviction buffers —
+ * so a probe clears them (assign / reset, which recycle capacity)
+ * instead of reallocating them. With one exception the state carries no
+ * semantic information across probes — every probe rebuilds its content
+ * from scratch, so schedules are bit-identical to a freshly constructed
+ * scheduler's. The exception is the RecurrenceCache, which reuses the
+ * cyclic-SCC decomposition across probes keyed by the structural
+ * (graph, machine) fingerprints: like the driver's memos it trusts the
+ * 64-bit hash in release builds and structurally verifies every reuse
+ * in debug builds (a collision panics instead of answering for another
+ * loop).
+ */
+
+#ifndef SWP_SCHED_WORKSPACE_HH
+#define SWP_SCHED_WORKSPACE_HH
+
+#include <vector>
+
+#include "ir/ddg.hh"
+#include "sched/mii.hh"
+#include "sched/mrt.hh"
+#include "sched/sched_util.hh"
+#include "support/bitmatrix.hh"
+
+namespace swp
+{
+
+/** Adjacency lists whose per-row storage survives reset(). */
+struct ScratchAdj
+{
+    std::vector<std::vector<int>> rows;
+
+    void
+    reset(int n)
+    {
+        if (int(rows.size()) < n)
+            rows.resize(std::size_t(n));
+        for (int i = 0; i < n; ++i)
+            rows[std::size_t(i)].clear();
+    }
+
+    std::vector<int> &operator[](int i) { return rows[std::size_t(i)]; }
+    const std::vector<int> &
+    operator[](int i) const
+    {
+        return rows[std::size_t(i)];
+    }
+};
+
+/** Per-scheduler scratch buffers; cleared, not reallocated, per probe. */
+struct SchedWorkspace
+{
+    /** @name Shared by both schedulers */
+    /// @{
+    Mrt mrt;
+    NodePriorities prio;
+    /** Anchor-relative group ASAP / height. */
+    std::vector<long> gAsap, gHeight;
+    /** Cyclic-SCC decomposition, reused across same-loop II probes. */
+    RecurrenceCache recurrences;
+    /// @}
+
+    /** @name HRMS condensed group graph */
+    /// @{
+    ScratchAdj succ, pred, succ0, pred0;
+    /** Group-pair dedup while building the adjacency (all distances /
+        zero-distance only). */
+    BitMatrix edgeSeen, edgeSeen0;
+    /** Transitive reachability over succ / its transpose / succ0. */
+    BitMatrix reach, reachT, reach0;
+    std::vector<int> dfsStack;
+    /// @}
+
+    /** @name HRMS pre-ordering */
+    /// @{
+    std::vector<int> order;
+    BitRow orderedMask, setMask;
+    std::vector<char> doneFlag, inSetFlag;
+    /// @}
+
+    /** @name IMS placement loop */
+    /// @{
+    std::vector<char> placed;
+    std::vector<long> lastTime;
+    std::vector<NodeId> blockers;
+    std::vector<int> evict;
+    /// @}
+};
+
+} // namespace swp
+
+#endif // SWP_SCHED_WORKSPACE_HH

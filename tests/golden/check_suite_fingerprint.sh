@@ -1,0 +1,38 @@
+#!/bin/sh
+# Byte-identity guard for the scheduler core.
+#
+# The pinned commands below exercise both schedulers (HRMS, IMS), all
+# three paper machines and every strategy family over the pinned-seed
+# generated suite. Their concatenated CSV output is hashed and compared
+# against tests/golden/suite_fingerprint.sha256, which was captured
+# BEFORE the PR 5 bitset/workspace scheduler-core refactor: any change
+# to a schedule, an II, a spill decision or a register count — however
+# small — fails this check. The suite generator uses the repo's own
+# portable PRNG and the CSV contains integers only, so the hash is
+# stable across compilers and platforms.
+#
+# Usage: check_suite_fingerprint.sh /path/to/swpipe_cli
+set -eu
+
+cli="$1"
+want=$(cat "$(dirname "$0")/suite_fingerprint.sha256")
+
+tmp="${TMPDIR:-/tmp}/swp_fingerprint_$$.csv"
+trap 'rm -f "$tmp"' EXIT
+
+{
+    "$cli" --suite 400 --csv
+    "$cli" --suite 400 --csv --scheduler ims --strategy spill
+    "$cli" --suite 200 --csv --machine p1l4 --strategy increase-ii
+    "$cli" --suite 200 --csv --machine p2l6 --strategy ideal
+} > "$tmp"
+
+got=$(sha256sum "$tmp" | cut -d' ' -f1)
+if [ "$got" != "$want" ]; then
+    echo "suite output fingerprint mismatch:" >&2
+    echo "  want $want" >&2
+    echo "  got  $got" >&2
+    echo "schedules are no longer byte-identical to the golden run" >&2
+    exit 1
+fi
+echo "suite fingerprint OK ($got)"

@@ -568,6 +568,40 @@ TEST(SuiteRunner, MemoCapLruMatchesUncappedByteForByte)
     EXPECT_EQ(roomy.memoStats().schedule.computes, fullStats.computes);
 }
 
+TEST(SuiteRunner, BoundsMemoHonorsTheCapToo)
+{
+    // --memo-cap bounds *every* memo in the process: the MII/RecMII
+    // bounds memo evicts LRU entries like the schedule memo, results
+    // stay byte-identical, and evicted bounds recompute correctly.
+    const std::vector<SuiteLoop> suite = testSuite(12);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner uncapped(2, true);
+    SuiteRunner capped(2, true, 4);
+
+    const auto a = uncapped.run(suite, m, jobs);
+    const auto b = capped.run(suite, m, jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdenticalResults(a[i], b[i], i);
+
+    const SingleFlightStats cb = capped.memoStats().bounds;
+    EXPECT_LE(cb.entries, 4);
+    EXPECT_GT(cb.evictions, 0)
+        << "a 4-entry cap over 12 distinct loops must evict bounds";
+    EXPECT_EQ(cb.computes, cb.entries + cb.evictions)
+        << "eviction broke the bounds memo's single-flight accounting";
+    EXPECT_EQ(uncapped.memoStats().bounds.evictions, 0);
+
+    // Evicted bounds recompute to the same values on direct queries.
+    for (const SuiteLoop &loop : suite) {
+        const SuiteRunner::LoopBounds lb = capped.bounds(loop.graph, m);
+        EXPECT_EQ(lb.mii, mii(loop.graph, m));
+        EXPECT_EQ(lb.recMii, recMii(loop.graph, m));
+    }
+}
+
 TEST(SuiteRunner, ResultsReferenceSuiteGraphsUnlessTransformed)
 {
     // The lean PipelineResult must not copy the input Ddg: an untouched

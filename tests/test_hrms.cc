@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "ir/builder.hh"
@@ -17,6 +18,7 @@
 #include "sched/mii.hh"
 #include "spill/insert.hh"
 #include "workload/paper_loops.hh"
+#include "workload/suitegen.hh"
 
 namespace swp
 {
@@ -277,6 +279,39 @@ TEST(Hrms, ZeroDistanceEdgeBetweenRecurrences)
     ASSERT_TRUE(s.has_value()) << "must schedule at MII=" << lower;
     std::string why;
     EXPECT_TRUE(validateSchedule(g, m, *s, &why)) << why;
+}
+
+TEST(Hrms, ReusedSchedulerMatchesFreshSchedulerAcrossLoops)
+{
+    // The workspace (MRT storage, priority buffers, reach matrices,
+    // recurrence cache) is reused across probes; interleaving loops,
+    // machines and IIs through one scheduler object must yield exactly
+    // the schedules a fresh scheduler produces — stale workspace state
+    // anywhere would diverge here.
+    SuiteParams params;
+    params.numLoops = 10;
+    const std::vector<SuiteLoop> suite = generateSuite(params);
+    const Machine machines[] = {Machine::p1l4(), Machine::p2l4()};
+    HrmsScheduler reused;
+    for (const SuiteLoop &loop : suite) {
+        for (const Machine &m : machines) {
+            const int lower = mii(loop.graph, m);
+            for (int ii = std::max(1, lower - 1); ii < lower + 3; ++ii) {
+                HrmsScheduler fresh;
+                const auto a = reused.scheduleAt(loop.graph, m, ii);
+                const auto b = fresh.scheduleAt(loop.graph, m, ii);
+                ASSERT_EQ(a.has_value(), b.has_value())
+                    << loop.graph.name() << " on " << m.name()
+                    << " ii=" << ii;
+                if (!a)
+                    continue;
+                for (NodeId v = 0; v < loop.graph.numNodes(); ++v) {
+                    ASSERT_EQ(a->time(v), b->time(v));
+                    ASSERT_EQ(a->unit(v), b->unit(v));
+                }
+            }
+        }
+    }
 }
 
 TEST(Hrms, EveryScheduleValidatesOnSuiteSample)

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ir/builder.hh"
 #include "machine/machine.hh"
 #include "sched/ims.hh"
 #include "sched/mii.hh"
+#include "sched/schedule.hh"
+#include "workload/suitegen.hh"
 
 namespace swp
 {
@@ -118,6 +122,37 @@ TEST(Ims, MixedRecurrenceAndResourcePressure)
     ASSERT_TRUE(s.has_value());
     std::string why;
     EXPECT_TRUE(validateSchedule(g, m, *s, &why)) << why;
+}
+
+TEST(Ims, ReusedSchedulerMatchesFreshSchedulerAcrossLoops)
+{
+    // Same workspace-reuse regression as the HRMS twin: one scheduler
+    // object fed interleaved loops/machines/IIs must match a fresh
+    // scheduler on every probe.
+    SuiteParams params;
+    params.numLoops = 10;
+    const std::vector<SuiteLoop> suite = generateSuite(params);
+    const Machine machines[] = {Machine::p1l4(), Machine::p2l4()};
+    ImsScheduler reused;
+    for (const SuiteLoop &loop : suite) {
+        for (const Machine &m : machines) {
+            const int lower = mii(loop.graph, m);
+            for (int ii = std::max(1, lower - 1); ii < lower + 3; ++ii) {
+                ImsScheduler fresh;
+                const auto a = reused.scheduleAt(loop.graph, m, ii);
+                const auto b = fresh.scheduleAt(loop.graph, m, ii);
+                ASSERT_EQ(a.has_value(), b.has_value())
+                    << loop.graph.name() << " on " << m.name()
+                    << " ii=" << ii;
+                if (!a)
+                    continue;
+                for (NodeId v = 0; v < loop.graph.numNodes(); ++v) {
+                    ASSERT_EQ(a->time(v), b->time(v));
+                    ASSERT_EQ(a->unit(v), b->unit(v));
+                }
+            }
+        }
+    }
 }
 
 } // namespace

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "ir/builder.hh"
 #include "ir/graph_algo.hh"
 #include "ir/verify.hh"
 #include "support/diag.hh"
+#include "workload/suitegen.hh"
 
 namespace swp
 {
@@ -183,6 +186,106 @@ TEST(GraphAlgo, SelfEdgeIsARecurrence)
     const SccResult scc = stronglyConnectedComponents(g);
     ASSERT_EQ(scc.numComps(), 1);
     EXPECT_TRUE(scc.isRecurrence[0]);
+}
+
+/** Test-local reachability by DFS over live edges (u itself only when
+    on a cycle) — the reference the SCC properties are checked against. */
+std::vector<std::vector<bool>>
+refReachability(const Ddg &g)
+{
+    const int n = g.numNodes();
+    std::vector<std::vector<bool>> reach(
+        std::size_t(n), std::vector<bool>(std::size_t(n), false));
+    for (NodeId s = 0; s < n; ++s) {
+        std::vector<NodeId> stack = {s};
+        while (!stack.empty()) {
+            const NodeId u = stack.back();
+            stack.pop_back();
+            for (EdgeId e : g.outEdges(u)) {
+                const NodeId v = g.edge(e).dst;
+                if (!reach[std::size_t(s)][std::size_t(v)]) {
+                    reach[std::size_t(s)][std::size_t(v)] = true;
+                    stack.push_back(v);
+                }
+            }
+        }
+    }
+    return reach;
+}
+
+TEST(GraphAlgo, SccPartitionIsAPermutationAndComponentsAreMaximal)
+{
+    // Property test over the pinned-seed generated suite: the SCC
+    // result is a partition (every node in exactly one component,
+    // matching compOf), components are exactly the mutual-reachability
+    // classes (so they are maximal), the emission order is reverse
+    // topological, and the adjacency-list overload agrees with the DDG
+    // overload.
+    SuiteParams params;
+    params.numLoops = 40;
+    const std::vector<SuiteLoop> suite = generateSuite(params);
+    for (const SuiteLoop &loop : suite) {
+        const Ddg &g = loop.graph;
+        const int n = g.numNodes();
+        const SccResult scc = stronglyConnectedComponents(g);
+
+        // Partition: each node appears exactly once, where compOf says.
+        std::vector<int> seen(std::size_t(n), 0);
+        for (int c = 0; c < scc.numComps(); ++c) {
+            for (const NodeId v : scc.comps[std::size_t(c)]) {
+                ++seen[std::size_t(v)];
+                ASSERT_EQ(scc.compOf[std::size_t(v)], c);
+            }
+        }
+        for (NodeId v = 0; v < n; ++v)
+            ASSERT_EQ(seen[std::size_t(v)], 1) << g.name() << " node " << v;
+
+        // Components = mutual reachability classes (maximality: two
+        // mutually reachable nodes are never split across components).
+        const auto reach = refReachability(g);
+        for (NodeId u = 0; u < n; ++u) {
+            for (NodeId v = 0; v < n; ++v) {
+                const bool sameComp = scc.compOf[std::size_t(u)] ==
+                                      scc.compOf[std::size_t(v)];
+                const bool mutual =
+                    u == v || (reach[std::size_t(u)][std::size_t(v)] &&
+                               reach[std::size_t(v)][std::size_t(u)]);
+                ASSERT_EQ(sameComp, mutual)
+                    << g.name() << " nodes " << u << ", " << v;
+            }
+        }
+
+        // isRecurrence(c) == some member lies on a cycle.
+        for (int c = 0; c < scc.numComps(); ++c) {
+            const NodeId v = scc.comps[std::size_t(c)][0];
+            ASSERT_EQ(scc.isRecurrence[std::size_t(c)],
+                      bool(reach[std::size_t(v)][std::size_t(v)]));
+        }
+
+        // Reverse topological emission: a live edge between distinct
+        // components points to the lower component index.
+        for (EdgeId e = 0; e < g.numEdges(); ++e) {
+            if (!g.edge(e).alive)
+                continue;
+            const int cs = scc.compOf[std::size_t(g.edge(e).src)];
+            const int cd = scc.compOf[std::size_t(g.edge(e).dst)];
+            if (cs != cd) {
+                ASSERT_LT(cd, cs);
+            }
+        }
+
+        // The adjacency-list overload is the same Tarjan: identical
+        // partition and numbering when fed the same successor lists.
+        std::vector<std::vector<int>> adj;
+        adj.resize(std::size_t(n));
+        for (NodeId u = 0; u < n; ++u) {
+            for (EdgeId e : g.outEdges(u))
+                adj[std::size_t(u)].push_back(g.edge(e).dst);
+        }
+        const AdjScc flat = stronglyConnectedComponents(adj);
+        ASSERT_EQ(flat.numComps(), scc.numComps());
+        EXPECT_EQ(flat.compOf, scc.compOf);
+    }
 }
 
 TEST(GraphAlgo, TopologicalOrderRespectsDag)

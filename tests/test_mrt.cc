@@ -6,15 +6,276 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "ir/builder.hh"
 #include "machine/machine.hh"
 #include "sched/groups.hh"
 #include "sched/mrt.hh"
+#include "support/rng.hh"
 
 namespace swp
 {
 namespace
 {
+
+/**
+ * Naive reference reservation table: the pre-bitset implementation,
+ * answering every query by scanning an occupant vector. The bitset Mrt
+ * must agree with it on every operation, including the unit index
+ * chosen (both take the lowest free unit).
+ */
+class RefMrt
+{
+  public:
+    RefMrt(const Machine &m, int ii) : m_(m), ii_(ii)
+    {
+        int base = 0;
+        for (int fu = 0; fu < numFuClasses; ++fu) {
+            classBase_[fu] = base;
+            const int units =
+                m.isUniversal() ? (fu == 0 ? m.unitsFor(FuClass(0)) : 0)
+                                : m.unitsFor(FuClass(fu));
+            base += units * ii;
+        }
+        occupant_.assign(std::size_t(base), invalidNode);
+    }
+
+    int
+    findUnit(Opcode op, int t) const
+    {
+        const FuClass fu = fuClassOf(op);
+        const int units = m_.unitsFor(fu);
+        const int occ = m_.occupancy(op);
+        if (occ > ii_)
+            return -1;
+        for (int u = 0; u < units; ++u) {
+            bool free = true;
+            for (int c = 0; c < occ && free; ++c) {
+                const int row = Schedule::floorMod(t + c, ii_);
+                free = occupant_[std::size_t(cell(fu, u, row))] ==
+                       invalidNode;
+            }
+            if (free)
+                return u;
+        }
+        return -1;
+    }
+
+    int
+    place(Opcode op, int t, NodeId n)
+    {
+        const int u = findUnit(op, t);
+        if (u < 0)
+            return -1;
+        const int occ = m_.occupancy(op);
+        for (int c = 0; c < occ; ++c) {
+            const int row = Schedule::floorMod(t + c, ii_);
+            occupant_[std::size_t(cell(fuClassOf(op), u, row))] = n;
+        }
+        return u;
+    }
+
+    void
+    remove(Opcode op, int t, NodeId n, int u)
+    {
+        const int occ = m_.occupancy(op);
+        for (int c = 0; c < occ; ++c) {
+            const int row = Schedule::floorMod(t + c, ii_);
+            const int idx = cell(fuClassOf(op), u, row);
+            ASSERT_EQ(occupant_[std::size_t(idx)], n);
+            occupant_[std::size_t(idx)] = invalidNode;
+        }
+    }
+
+    std::vector<NodeId>
+    conflicts(Opcode op, int t) const
+    {
+        const int occ = m_.occupancy(op);
+        std::vector<NodeId> blockers;
+        if (occ > ii_)
+            return blockers;
+        const FuClass fu = fuClassOf(op);
+        for (int u = 0; u < m_.unitsFor(fu); ++u) {
+            for (int c = 0; c < occ; ++c) {
+                const int row = Schedule::floorMod(t + c, ii_);
+                const NodeId n = occupant_[std::size_t(cell(fu, u, row))];
+                if (n != invalidNode &&
+                    std::find(blockers.begin(), blockers.end(), n) ==
+                        blockers.end()) {
+                    blockers.push_back(n);
+                }
+            }
+        }
+        return blockers;
+    }
+
+  private:
+    int
+    cell(FuClass fu, int unit, int row) const
+    {
+        const int fi = m_.isUniversal() ? 0 : int(fu);
+        return classBase_[fi] + unit * ii_ + row;
+    }
+
+    const Machine &m_;
+    int ii_;
+    std::vector<NodeId> occupant_;
+    int classBase_[numFuClasses];
+};
+
+/** The opcode mix of the differential test: pipelined single-row ops
+    plus the non-pipelined multi-row divide and square root. */
+constexpr Opcode kDiffOps[] = {Opcode::Load, Opcode::Store, Opcode::Add,
+                               Opcode::Mul,  Opcode::Div,   Opcode::Sqrt,
+                               Opcode::Copy};
+
+/** Compare every query both tables answer, over a window of times. */
+void
+expectTablesAgree(const Mrt &mrt, const RefMrt &ref, int ii)
+{
+    for (const Opcode op : kDiffOps) {
+        for (int t = -ii - 3; t <= 2 * ii + 3; ++t) {
+            ASSERT_EQ(mrt.findUnit(op, t), ref.findUnit(op, t))
+                << opcodeName(op) << " at t=" << t;
+            ASSERT_EQ(mrt.conflicts(op, t), ref.conflicts(op, t))
+                << opcodeName(op) << " at t=" << t;
+        }
+    }
+}
+
+TEST(Mrt, DifferentialAgainstNaiveReference)
+{
+    const Machine machines[] = {Machine::p1l4(), Machine::p2l4(),
+                                Machine::universal("u3", 3, 2)};
+    struct Placement
+    {
+        Opcode op;
+        int t;
+        NodeId n;
+        int u;
+    };
+
+    for (const Machine &m : machines) {
+        Rng rng(0x5eedu + std::uint64_t(m.totalUnits()));
+        for (int trial = 0; trial < 6; ++trial) {
+            // IIs from 1 (everything wraps onto one row) up past the
+            // non-pipelined occupancies (Div 17, Sqrt 30 fit partially).
+            const int ii = trial == 0 ? 1 : rng.range(2, 40);
+            Mrt mrt(m, ii);
+            RefMrt ref(m, ii);
+            std::vector<Placement> live;
+            NodeId nextNode = 0;
+
+            for (int step = 0; step < 160; ++step) {
+                const bool doPlace =
+                    live.empty() || rng.chance(0.6);
+                if (doPlace) {
+                    const Opcode op = kDiffOps[std::size_t(
+                        rng.range(0, int(std::size(kDiffOps)) - 1))];
+                    const int t = rng.range(-30, 60);
+                    const NodeId n = nextNode++;
+                    const int u1 = mrt.place(op, t, n);
+                    const int u2 = ref.place(op, t, n);
+                    ASSERT_EQ(u1, u2)
+                        << m.name() << " ii=" << ii << " place "
+                        << opcodeName(op) << " t=" << t;
+                    if (u1 >= 0)
+                        live.push_back({op, t, n, u1});
+                } else {
+                    const std::size_t pick = std::size_t(
+                        rng.range(0, int(live.size()) - 1));
+                    const Placement p = live[pick];
+                    live.erase(live.begin() + long(pick));
+                    mrt.remove(p.op, p.t, p.n, p.u);
+                    ref.remove(p.op, p.t, p.n, p.u);
+                }
+                if (step % 20 == 0)
+                    expectTablesAgree(mrt, ref, ii);
+            }
+            expectTablesAgree(mrt, ref, ii);
+        }
+    }
+}
+
+TEST(Mrt, DifferentialGroupPlacement)
+{
+    // Fused load->add groups over one mem unit: group placement must
+    // agree with placing the members one by one on the reference table,
+    // including the all-or-nothing failure case.
+    DdgBuilder b("grp");
+    const NodeId l1 = b.load("l1");
+    const NodeId a1 = b.add("a1");
+    const NodeId st = b.store("st");
+    b.graph().addEdge(l1, a1, DepKind::RegFlow, 0, true);
+    b.flow(a1, st);
+    const Ddg g = b.take();
+    const Machine m = Machine::p1l4();
+    const GroupSet groups(g, m);
+    const ComplexGroup &grp = groups.group(groups.groupOf(l1));
+    ASSERT_EQ(grp.members.size(), 2u);
+
+    Rng rng(99);
+    for (int trial = 0; trial < 8; ++trial) {
+        const int ii = rng.range(1, 6);
+        Mrt mrt(m, ii);
+        RefMrt ref(m, ii);
+        Schedule sched(ii, g.numNodes());
+        bool placed = false;
+        int placedT0 = 0;
+        // Background noise so the group competes with singletons.
+        NodeId noise = 100;
+        for (int step = 0; step < 60; ++step) {
+            if (rng.chance(0.3)) {
+                const Opcode op = rng.chance(0.5) ? Opcode::Load
+                                                  : Opcode::Add;
+                const int t = rng.range(-5, 10);
+                ASSERT_EQ(mrt.place(op, t, noise), ref.place(op, t, noise));
+                ++noise;
+            }
+            if (!placed) {
+                const int t0 = rng.range(-10, 20);
+                // Reference: member-by-member with rollback semantics
+                // (the scratch copy is only probed, never kept).
+                const bool refCan = [&] {
+                    RefMrt scratch(ref);
+                    for (std::size_t i = 0; i < grp.members.size(); ++i) {
+                        if (scratch.place(g.node(grp.members[i]).op,
+                                          t0 + grp.offsets[i],
+                                          grp.members[i]) < 0) {
+                            return false;
+                        }
+                    }
+                    return true;
+                }();
+                ASSERT_EQ(mrt.canPlaceGroup(g, grp, t0), refCan)
+                    << "ii=" << ii << " t0=" << t0;
+                if (refCan && rng.chance(0.7)) {
+                    ASSERT_TRUE(mrt.placeGroup(g, grp, t0, sched));
+                    for (std::size_t i = 0; i < grp.members.size(); ++i) {
+                        ASSERT_EQ(ref.place(g.node(grp.members[i]).op,
+                                            t0 + grp.offsets[i],
+                                            grp.members[i]),
+                                  sched.unit(grp.members[i]));
+                    }
+                    placed = true;
+                    placedT0 = t0;
+                }
+            } else if (rng.chance(0.5)) {
+                mrt.removeGroup(g, grp, sched);
+                for (std::size_t i = 0; i < grp.members.size(); ++i) {
+                    ref.remove(g.node(grp.members[i]).op,
+                               placedT0 + grp.offsets[i], grp.members[i],
+                               sched.unit(grp.members[i]));
+                }
+                placed = false;
+            }
+            expectTablesAgree(mrt, ref, ii);
+        }
+    }
+}
 
 TEST(Mrt, FillsAllUnitsOfARow)
 {

@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "support/bitmatrix.hh"
 #include "support/diag.hh"
 #include "support/rng.hh"
 #include "support/singleflight.hh"
@@ -251,6 +252,97 @@ TEST(Strutil, JsonQuoteEscapes)
     EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
     EXPECT_EQ(jsonQuote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
     EXPECT_EQ(jsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(BitMatrix, WordHelpers)
+{
+    EXPECT_EQ(countTrailingZeros(1), 0);
+    EXPECT_EQ(countTrailingZeros(0b1000), 3);
+    EXPECT_EQ(countTrailingZeros(std::uint64_t(1) << 63), 63);
+    EXPECT_EQ(lowBitsMask(0), 0u);
+    EXPECT_EQ(lowBitsMask(1), 1u);
+    EXPECT_EQ(lowBitsMask(5), 0b11111u);
+    EXPECT_EQ(lowBitsMask(64), ~std::uint64_t(0));
+}
+
+TEST(BitMatrix, SetTestAndCrossWordColumns)
+{
+    // 70 columns spans two words per row: bits on both sides of the
+    // word boundary must be independent.
+    BitMatrix m(3, 70);
+    EXPECT_EQ(m.wordsPerRow(), 2);
+    EXPECT_FALSE(m.test(1, 63));
+    m.set(1, 63);
+    m.set(1, 64);
+    m.set(2, 69);
+    EXPECT_TRUE(m.test(1, 63));
+    EXPECT_TRUE(m.test(1, 64));
+    EXPECT_TRUE(m.test(2, 69));
+    EXPECT_FALSE(m.test(0, 63));
+    EXPECT_FALSE(m.test(1, 62));
+    EXPECT_FALSE(m.test(1, 65));
+}
+
+TEST(BitMatrix, ResetClearsAndReusesAcrossShapes)
+{
+    BitMatrix m(2, 10);
+    m.set(0, 3);
+    m.set(1, 9);
+    m.reset(4, 5);
+    EXPECT_EQ(m.rows(), 4);
+    EXPECT_EQ(m.cols(), 5);
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 5; ++c)
+            EXPECT_FALSE(m.test(r, c));
+    }
+    // Growing again after shrinking also starts clear.
+    m.reset(1, 130);
+    for (int c = 0; c < 130; ++c)
+        EXPECT_FALSE(m.test(0, c));
+}
+
+TEST(BitMatrix, IntersectsAndOrRowInto)
+{
+    BitMatrix m(2, 130);
+    m.set(0, 5);
+    m.set(0, 129);
+    m.set(1, 64);
+
+    BitRow mask;
+    mask.reset(130);
+    EXPECT_FALSE(m.intersects(0, mask.words()));
+    mask.set(129);
+    EXPECT_TRUE(m.intersects(0, mask.words()));
+    EXPECT_FALSE(m.intersects(1, mask.words()));
+    mask.clear(129);
+    mask.set(64);
+    EXPECT_TRUE(m.intersects(1, mask.words()));
+    EXPECT_FALSE(m.intersects(0, mask.words()));
+
+    // orRowInto unions a row into an external word buffer.
+    BitRow acc;
+    acc.reset(130);
+    m.orRowInto(0, acc.words());
+    m.orRowInto(1, acc.words());
+    EXPECT_TRUE(acc.test(5));
+    EXPECT_TRUE(acc.test(64));
+    EXPECT_TRUE(acc.test(129));
+    EXPECT_FALSE(acc.test(6));
+}
+
+TEST(BitRow, SetClearAndReuse)
+{
+    BitRow r;
+    r.reset(70);
+    EXPECT_EQ(r.size(), 70);
+    r.set(0);
+    r.set(69);
+    EXPECT_TRUE(r.test(0));
+    EXPECT_TRUE(r.test(69));
+    r.clear(69);
+    EXPECT_FALSE(r.test(69));
+    r.reset(3);
+    EXPECT_FALSE(r.test(0));
 }
 
 } // namespace
