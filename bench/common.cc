@@ -210,6 +210,7 @@ benchRunOptions()
     RunOptions opts;
     opts.shard = benchOptions().shard;
     opts.chunk = benchOptions().chunk;
+    opts.verify = benchOptions().verify;
     return opts;
 }
 
@@ -218,6 +219,7 @@ benchChunkOptions()
 {
     RunOptions opts;
     opts.chunk = benchOptions().chunk;
+    opts.verify = benchOptions().verify;
     return opts;
 }
 
@@ -335,6 +337,8 @@ initBenchArgs(int *argc, char ***argv, bool nativeJson)
             if (!parseShardSpec(text, opts.shard))
                 flagError(std::string("bad --shard spec ") + text +
                           " (want i/N with 0 <= i < N)");
+        } else if (!std::strcmp(arg, "--verify")) {
+            opts.verify = true;
         } else {
             keep.push_back(arg);
         }

@@ -64,6 +64,11 @@ namespace swp::benchutil
  *                    is. (Byte-exact cross-process merging is the
  *                    CLI's --shard/--merge-shards workflow, whose
  *                    shard files carry rendered per-job records.)
+ *   --verify         check every evaluated result with the independent
+ *                    legality verifier (src/verify); any violation
+ *                    aborts the harness with a diagnostic naming the
+ *                    violated edge/slot/range. Results and recorded
+ *                    numbers are unchanged by the flag.
  */
 struct BenchOptions
 {
@@ -74,6 +79,7 @@ struct BenchOptions
     int memoCap = 0;
     ChunkPolicy chunk = ChunkPolicy::Auto;
     ShardSpec shard;
+    bool verify = false;
 
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */

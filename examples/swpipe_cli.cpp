@@ -21,6 +21,11 @@
  *   --kernel                      print the kernel listing
  *   --mve                         print the MVE form
  *   --simulate N                  execute N iterations and verify
+ *   --verify                      check every result with the
+ *                                 independent legality verifier
+ *                                 (src/verify); any violation aborts
+ *                                 with a diagnostic on stderr and exit
+ *                                 code 2. Stdout bytes are unchanged.
  *   --csv                         one CSV row per loop
  *   --example                     use the paper's Figure 2 loop
  *   --apsi                        use the APSI 47/50 analogues
@@ -68,6 +73,7 @@
 #include "sim/vliw.hh"
 #include "support/diag.hh"
 #include "support/strutil.hh"
+#include "verify/legality.hh"
 #include "workload/ddgio.hh"
 #include "workload/paper_loops.hh"
 #include "workload/suitegen.hh"
@@ -86,6 +92,7 @@ struct CliOptions
     bool kernel = false;
     bool mve = false;
     long simulate = 0;
+    bool verify = false;
     bool csv = false;
     int threads = 1;
     bool memo = true;
@@ -188,6 +195,8 @@ parseArgs(int argc, char **argv)
             opts.mve = true;
         } else if (!std::strcmp(arg, "--simulate")) {
             opts.simulate = std::atol(nextArg(argc, argv, i, arg));
+        } else if (!std::strcmp(arg, "--verify")) {
+            opts.verify = true;
         } else if (!std::strcmp(arg, "--csv")) {
             opts.csv = true;
         } else if (!std::strcmp(arg, "--example")) {
@@ -317,6 +326,17 @@ reportLoop(const CliOptions &opts, const SuiteLoop &loop,
     if (opts.mve) {
         const LifetimeInfo info = analyzeLifetimes(r.graph(), r.sched);
         out << formatMveKernel(r.graph(), r.sched, info);
+        if (opts.verify) {
+            // The MVE layer lives outside PipelineResult, so the
+            // per-job verification cannot see it; check it here, where
+            // the allocation is actually produced and printed.
+            const VerifyReport mv = verifyMveAllocation(
+                r.graph(), r.sched, allocateMve(info));
+            if (!mv.ok()) {
+                SWP_FATAL("loop '", g.name(),
+                          "': illegal MVE allocation:\n", mv.describe());
+            }
+        }
     }
     if (opts.simulate > 0) {
         std::string why;
@@ -427,8 +447,19 @@ main(int argc, char **argv)
         RunOptions ropts;
         ropts.shard = opts.shard;
         ropts.chunk = opts.chunk;
+        ropts.verify = opts.verify;
         const std::vector<swp::PipelineResult> results =
             runner.run(opts.loops, opts.machine, jobs, ropts);
+        if (opts.verify) {
+            // run() threw on any violation, so reaching here means the
+            // whole batch is legal. Stderr only: --verify must never
+            // change the fingerprinted stdout bytes.
+            std::size_t verified = 0;
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                verified += opts.shard.owns(i);
+            std::cerr << "verify: " << verified << " of " << jobs.size()
+                      << " results legal, 0 violations\n";
+        }
 
         if (opts.shardMode) {
             // Render only this shard's jobs, into a shard file rather

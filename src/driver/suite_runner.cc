@@ -7,6 +7,7 @@
 #include "sched/ii_search.hh"
 #include "sched/mii.hh"
 #include "support/diag.hh"
+#include "verify/legality.hh"
 
 namespace swp
 {
@@ -341,6 +342,8 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
             : std::max<std::size_t>(
                   1, order.size() / (std::size_t(threads_) * 8));
 
+    const bool verify = opts.verify || kAlwaysVerifyResults;
+
     std::vector<PipelineResult> results(jobs.size());
     dispatch(
         order.size(),
@@ -352,8 +355,8 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                 makeScheduler(SchedulerKind::Hrms);
             std::shared_ptr<ModuloScheduler> ims =
                 makeScheduler(SchedulerKind::Ims);
-            return [this, &suite, &m, &jobs, &results, &order, hrms,
-                    ims](std::size_t k) {
+            return [this, &suite, &m, &jobs, &results, &order, verify,
+                    hrms, ims](std::size_t k) {
                 const std::size_t i = order[k];
                 const BatchJob &job = jobs[i];
                 const Ddg &g = suite[std::size_t(job.loop)].graph;
@@ -371,6 +374,15 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                                  ? pipelineIdeal(g, m, kind, &ctx)
                                  : pipelineLoop(g, m, job.strategy,
                                                 job.options, &ctx);
+                if (verify) {
+                    const VerifyReport report =
+                        verifyResult(g, m, results[i]);
+                    if (!report.ok()) {
+                        SWP_FATAL("job ", i, " (loop '", g.name(),
+                                  "'): illegal pipeline result:\n",
+                                  report.describe());
+                    }
+                }
             };
         },
         chunk);

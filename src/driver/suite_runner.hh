@@ -114,6 +114,18 @@ struct RunOptions
     ShardSpec shard;
 
     ChunkPolicy chunk = ChunkPolicy::Auto;
+
+    /**
+     * Check every result with the independent legality verifier
+     * (verify/legality) as the job completes; any violation makes run()
+     * throw a FatalError whose message names the violated
+     * edge/slot/range. Forced on in Debug and sanitizer builds
+     * (kAlwaysVerifyResults), so no scheduler bug can hide behind a
+     * fast Release-only reproduction. Verification reads the finished
+     * result only — the evaluated schedules and the emitted bytes are
+     * identical with it on or off.
+     */
+    bool verify = false;
 };
 
 /** Deterministic worker-pool evaluator for batches of pipeline jobs. */

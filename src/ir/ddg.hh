@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ir/opcode.hh"
+#include "support/sanitize.hh"
 
 namespace swp
 {
@@ -296,6 +297,18 @@ class Ddg
     Core &
     mut()
     {
+#if SWP_TSAN_ENABLED
+        // TSan neither models the standalone acquire fence below (gcc
+        // rejects it outright under -Werror=tsan) nor the relaxed
+        // use-count load it pairs through, so the sole-owner in-place
+        // mutation would surface as a false race against the previous
+        // owner's reads. Detach unconditionally instead: cloning only
+        // *reads* the old core (reads cannot race with reads), and the
+        // old core's destruction is ordered by shared_ptr's own
+        // acq_rel reference counting, which TSan does model. Same
+        // results, sole-owner fast path traded for a clone.
+        core_ = std::make_shared<Core>(*core_);
+#else
         if (core_.use_count() > 1) {
             core_ = std::make_shared<Core>(*core_);
         } else {
@@ -305,6 +318,7 @@ class Ddg
             // before the in-place writes that follow.
             std::atomic_thread_fence(std::memory_order_acquire);
         }
+#endif
         core_->cachedFp.store(0, std::memory_order_relaxed);
         return *core_;
     }

@@ -59,6 +59,7 @@ allocateMve(const LifetimeInfo &lifetimes)
     result.unroll = mveUnrollFactor(lifetimes);
     result.period.assign(lifetimes.lifetimes.size(), 0);
     result.base.assign(lifetimes.lifetimes.size(), -1);
+    result.nameRegs.assign(lifetimes.lifetimes.size(), {});
 
     const long ii = lifetimes.ii;
     const long circ = long(result.unroll) * ii;
@@ -73,6 +74,8 @@ allocateMve(const LifetimeInfo &lifetimes)
         const int need = int((lt.length() + ii - 1) / ii);
         const int p = periodFor(result.unroll, need);
         result.period[std::size_t(lt.producer)] = p;
+        result.nameRegs[std::size_t(lt.producer)].assign(
+            std::size_t(p), -1);
         for (int b = 0; b < p; ++b) {
             NameArcs arcs;
             arcs.value = lt.producer;
@@ -121,10 +124,13 @@ allocateMve(const LifetimeInfo &lifetimes)
     }
     result.registers = int(colors.size());
 
-    // Record the base color of each value's name 0 (diagnostics only;
-    // the names of one value need not be contiguous after coloring).
+    // Record the full name -> register map, plus the base color of each
+    // value's name 0 (the names of one value need not be contiguous
+    // after coloring, so diagnostics show base while the verifier walks
+    // nameRegs).
     for (std::size_t id = 0; id < names.size(); ++id) {
         const auto &[value, b] = nameOwner[id];
+        result.nameRegs[std::size_t(value)][std::size_t(b)] = colorOf[id];
         if (b == 0)
             result.base[std::size_t(value)] = colorOf[id];
     }

@@ -36,9 +36,13 @@ struct MveAllocResult
     int registers = 0;  ///< Physical registers after name coloring.
     /** Name period per producing node (0 for non-values). */
     std::vector<int> period;
-    /** First physical register per producing node; names b = base..
-     *  base+period-1 are contiguous in allocation order. */
+    /** Physical register of name 0 per producing node (diagnostics;
+     *  the names of one value need not be contiguous after coloring). */
     std::vector<int> base;
+    /** Full coloring: nameRegs[v][b] is the physical register of name b
+     *  of value v (empty vector for non-values). The independent
+     *  verifier (verify/legality) checks this mapping arc by arc. */
+    std::vector<std::vector<int>> nameRegs;
 };
 
 /**

@@ -621,7 +621,10 @@ place(HrmsContext &ctx, const std::vector<int> &order)
             }
         }
         if (!placed) {
-            if (std::getenv("SWP_HRMS_DEBUG")) {
+            // Read-only debug toggle; nothing in the process calls
+            // setenv, so the getenv race mt-unsafe guards against
+            // cannot arise.
+            if (std::getenv("SWP_HRMS_DEBUG")) {  // NOLINT(concurrency-mt-unsafe)
                 int placedCount = 0;
                 for (NodeId v = 0; v < ctx.g.numNodes(); ++v)
                     placedCount += sched.scheduled(v);

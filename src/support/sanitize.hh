@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Compile-time sanitizer detection.
+ *
+ * SWP_TSAN_ENABLED is 1 when the translation unit is instrumented by
+ * ThreadSanitizer (gcc defines __SANITIZE_THREAD__, clang exposes it
+ * via __has_feature). Code paths whose correctness rests on ordering
+ * TSan cannot model — standalone memory fences above all — test this to
+ * substitute an equivalent TSan-visible discipline, rather than
+ * suppressing the resulting false reports.
+ */
+
+#ifndef SWP_SUPPORT_SANITIZE_HH
+#define SWP_SUPPORT_SANITIZE_HH
+
+#if defined(__SANITIZE_THREAD__)
+#define SWP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SWP_TSAN_ENABLED 1
+#else
+#define SWP_TSAN_ENABLED 0
+#endif
+#else
+#define SWP_TSAN_ENABLED 0
+#endif
+
+#endif // SWP_SUPPORT_SANITIZE_HH

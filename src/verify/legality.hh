@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Independent schedule-legality verifier.
+ *
+ * The scheduler core (src/sched) is heavily optimized — bit-parallel
+ * reservation tables, cached reachability, memoized probe outcomes —
+ * and guarded by a byte-identity fingerprint. Byte identity proves the
+ * output did not *change*; it does not prove it was ever *legal*. This
+ * subsystem proves legality: a from-scratch static checker that shares
+ * no code with the scheduler (no Mrt, no BitMatrix, no GroupSet, no
+ * sched/schedule validator) and re-derives every constraint directly
+ * from the paper's definitions using deliberately naive data structures
+ * (per-slot count tables, pairwise arc intersection), so a bug in the
+ * fast machinery cannot hide inside the checker that vouches for it.
+ *
+ * Four independent layers are checked for every PipelineResult:
+ *
+ *  1. Dependence legality — for every live DDG edge e = (src, dst,
+ *     delta): t(dst) >= t(src) + latency(src) - delta * II, and fused
+ *     (non-spillable) edges sit at their exact offset. Covers edges
+ *     introduced by spill insertion, since the check walks the result's
+ *     (possibly spill-transformed) graph.
+ *  2. Resource legality — a naive occupancy table rebuilt from the
+ *     op -> unit assignments: at most one op per (class, unit,
+ *     cycle mod II) slot, counting every row a non-pipelined op blocks,
+ *     and no op may occupy its unit for more than II cycles.
+ *  3. Register legality — lifetimes recomputed here, from the graph and
+ *     schedule alone; the rotating-file allocation must give every live
+ *     value an in-range offset and no two values' circular arcs may
+ *     overlap (the Rau conflict lemma), i.e. no physical register ever
+ *     holds two live values at once.
+ *  4. Kernel consistency — the codegen'd kernel's (row, stage) layout
+ *     must round-trip to exactly the schedule's (op, cycle) set: every
+ *     op exactly once, at stage * II + row == t(op).
+ *
+ * Violations are reported as structured diagnostics naming the violated
+ * edge, slot, or live range, so a failing sweep pinpoints the bug
+ * instead of printing "schedule bad".
+ */
+
+#ifndef SWP_VERIFY_LEGALITY_HH
+#define SWP_VERIFY_LEGALITY_HH
+
+#include <string>
+#include <vector>
+
+#include "codegen/kernel.hh"
+#include "ir/ddg.hh"
+#include "machine/machine.hh"
+#include "pipeliner/result.hh"
+#include "regalloc/mvealloc.hh"
+#include "sched/schedule.hh"
+
+namespace swp
+{
+
+/**
+ * Builds that already pay for safety (assertions on, or any sanitizer)
+ * verify every SuiteRunner result unconditionally; Release builds only
+ * on request (--verify), keeping the measured configurations honest.
+ */
+#if !defined(NDEBUG) || defined(SWP_SANITIZE_BUILD)
+constexpr bool kAlwaysVerifyResults = true;
+#else
+constexpr bool kAlwaysVerifyResults = false;
+#endif
+
+/** Which legality layer a violation belongs to. */
+enum class ViolationKind
+{
+    Structure,   ///< Schedule shape broken (size, completeness, II).
+    Dependence,  ///< A dependence edge is not satisfied.
+    FusedOffset, ///< A fused (non-spillable) edge is off its offset.
+    Resource,    ///< A functional-unit slot is oversubscribed.
+    Register,    ///< Overlapping live ranges in one register.
+    Kernel,      ///< Kernel layout does not round-trip to the schedule.
+};
+
+/** Printable layer name ("dependence", "resource", ...). */
+const char *violationKindName(ViolationKind kind);
+
+/** One legality violation, naming the offending edge/slot/range. */
+struct Violation
+{
+    ViolationKind kind = ViolationKind::Structure;
+
+    /** Primary node involved (edge destination, slot occupant, value
+        producer); invalidNode when not applicable. */
+    NodeId node = invalidNode;
+
+    /** Offending edge for dependence/fused violations; -1 otherwise. */
+    EdgeId edge = -1;
+
+    /** Human-readable diagnostic naming the violated constraint. */
+    std::string message;
+};
+
+/** Outcome of verifying one result. */
+struct VerifyReport
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** Count of violations of one kind. */
+    int count(ViolationKind kind) const;
+
+    /** All diagnostics, one per line (empty string when ok). */
+    std::string describe() const;
+};
+
+/**
+ * Verify a complete schedule against its graph and machine: dependence
+ * legality (layer 1) and resource legality (layer 2).
+ */
+VerifyReport verifySchedule(const Ddg &g, const Machine &m,
+                            const Schedule &s);
+
+/**
+ * Verify a rotating-register allocation against independently
+ * recomputed lifetimes (layer 3). Only meaningful when the allocation
+ * ran (alloc.rotAlloc non-empty); an unallocated live value or any
+ * pairwise arc overlap is a violation.
+ */
+VerifyReport verifyAllocation(const Ddg &g, const Schedule &s,
+                              const AllocationOutcome &alloc);
+
+/**
+ * Verify an MVE allocation against independently recomputed lifetimes:
+ * every live value's name period must divide the unroll factor and
+ * cover ceil(LT/II) simultaneous instances, and no physical register
+ * may hold two overlapping name arcs on the unrolled time circle.
+ */
+VerifyReport verifyMveAllocation(const Ddg &g, const Schedule &s,
+                                 const MveAllocResult &mve);
+
+/**
+ * Verify that the codegen'd kernel round-trips to the schedule
+ * (layer 4): builds the kernel via codegen and checks its layout.
+ */
+VerifyReport verifyKernel(const Ddg &g, const Schedule &s);
+
+/**
+ * Check an explicit kernel layout against the schedule (the core of
+ * layer 4, exposed so tests can perturb a kernel independently of the
+ * deterministic codegen path): every op exactly once, each slot's
+ * stage * II + row equal to the op's cycle, II rows, stage count
+ * matching the schedule's stage span.
+ */
+VerifyReport verifyKernelLayout(const Ddg &g, const Schedule &s,
+                                const KernelCode &kernel);
+
+/**
+ * Verify one pipeline result end to end: all four layers on the
+ * result's own (possibly spill-transformed) graph. `input` is the
+ * untransformed loop the strategy was asked to schedule; it anchors the
+ * structural cross-checks (a spill transformation may add nodes and
+ * kill edges but never removes original nodes).
+ */
+VerifyReport verifyResult(const Ddg &input, const Machine &m,
+                          const PipelineResult &result);
+
+} // namespace swp
+
+#endif // SWP_VERIFY_LEGALITY_HH
