@@ -211,6 +211,7 @@ benchRunOptions()
     opts.shard = benchOptions().shard;
     opts.chunk = benchOptions().chunk;
     opts.verify = benchOptions().verify;
+    opts.certify = benchOptions().certify;
     return opts;
 }
 
@@ -220,6 +221,7 @@ benchChunkOptions()
     RunOptions opts;
     opts.chunk = benchOptions().chunk;
     opts.verify = benchOptions().verify;
+    opts.certify = benchOptions().certify;
     return opts;
 }
 
@@ -339,6 +341,8 @@ initBenchArgs(int *argc, char ***argv, bool nativeJson)
                           " (want i/N with 0 <= i < N)");
         } else if (!std::strcmp(arg, "--verify")) {
             opts.verify = true;
+        } else if (!std::strcmp(arg, "--certify")) {
+            opts.certify = true;
         } else {
             keep.push_back(arg);
         }

@@ -69,6 +69,14 @@ namespace swp::benchutil
  *                    aborts the harness with a diagnostic naming the
  *                    violated edge/slot/range. Results and recorded
  *                    numbers are unchanged by the flag.
+ *   --certify        generate and independently check an optimality
+ *                    certificate (verify/certify: critical-cycle,
+ *                    pigeonhole, and register-floor lower bounds) for
+ *                    every evaluated result, and cross-check it against
+ *                    the achieved II/register count; a rejected
+ *                    certificate or a contradiction aborts the harness.
+ *                    Results and recorded numbers are unchanged by the
+ *                    flag.
  */
 struct BenchOptions
 {
@@ -80,6 +88,7 @@ struct BenchOptions
     ChunkPolicy chunk = ChunkPolicy::Auto;
     ShardSpec shard;
     bool verify = false;
+    bool certify = false;
 
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */

@@ -26,6 +26,23 @@
  *                                 (src/verify); any violation aborts
  *                                 with a diagnostic on stderr and exit
  *                                 code 2. Stdout bytes are unchanged.
+ *   --certify                     generate an optimality certificate
+ *                                 (II/register lower bounds with
+ *                                 explicit witnesses) for every result,
+ *                                 validate it with the independent
+ *                                 checker, and cross-check it against
+ *                                 the achieved II/register count; a
+ *                                 rejected certificate or contradiction
+ *                                 aborts with exit code 2. Prints the
+ *                                 suite-wide optimality-gap report to
+ *                                 stderr; stdout bytes are unchanged.
+ *   --certify-out FILE            also write one JSON line per job
+ *                                 (ascending job index; only owned jobs
+ *                                 under --shard) with the certificate
+ *                                 summary. Byte-stable across thread
+ *                                 counts, and shard files merge into
+ *                                 exactly the unsharded bytes when
+ *                                 re-ordered by job. Implies --certify.
  *   --csv                         one CSV row per loop
  *   --example                     use the paper's Figure 2 loop
  *   --apsi                        use the APSI 47/50 analogues
@@ -59,6 +76,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
@@ -93,6 +111,8 @@ struct CliOptions
     bool mve = false;
     long simulate = 0;
     bool verify = false;
+    bool certify = false;
+    std::string certifyOut;
     bool csv = false;
     int threads = 1;
     bool memo = true;
@@ -197,6 +217,11 @@ parseArgs(int argc, char **argv)
             opts.simulate = std::atol(nextArg(argc, argv, i, arg));
         } else if (!std::strcmp(arg, "--verify")) {
             opts.verify = true;
+        } else if (!std::strcmp(arg, "--certify")) {
+            opts.certify = true;
+        } else if (!std::strcmp(arg, "--certify-out")) {
+            opts.certifyOut = nextArg(argc, argv, i, arg);
+            opts.certify = true;
         } else if (!std::strcmp(arg, "--csv")) {
             opts.csv = true;
         } else if (!std::strcmp(arg, "--example")) {
@@ -254,6 +279,9 @@ parseArgs(int argc, char **argv)
         opts.mergeFiles = std::move(positional);
         if (opts.shardMode || !opts.shardOut.empty())
             usageError("--merge-shards cannot be combined with --shard");
+        if (opts.certify)
+            usageError("--certify does not apply to --merge-shards "
+                       "(certify the evaluating runs instead)");
         if (opts.mergeFiles.empty())
             usageError("--merge-shards needs at least one shard file");
         return opts;
@@ -448,8 +476,31 @@ main(int argc, char **argv)
         ropts.shard = opts.shard;
         ropts.chunk = opts.chunk;
         ropts.verify = opts.verify;
+        ropts.certify = opts.certify;
+        std::vector<CertSummary> certs;
+        if (opts.certify)
+            ropts.certificates = &certs;
         const std::vector<swp::PipelineResult> results =
             runner.run(opts.loops, opts.machine, jobs, ropts);
+        if (opts.certify) {
+            // run() threw on any rejected certificate or contradiction,
+            // so every summary here is checker-approved. All output is
+            // stderr or the JSON file: --certify must never change the
+            // fingerprinted stdout bytes.
+            if (!opts.certifyOut.empty()) {
+                std::ofstream out(opts.certifyOut,
+                                  std::ios::out | std::ios::trunc);
+                if (!out) {
+                    SWP_FATAL("cannot write certificate file ",
+                              opts.certifyOut);
+                }
+                for (std::size_t i = 0; i < certs.size(); ++i) {
+                    if (opts.shard.owns(i))
+                        out << certSummaryJson(int(i), certs[i]) << "\n";
+                }
+            }
+            std::cerr << describeGapReport(summarizeGaps(certs)) << "\n";
+        }
         if (opts.verify) {
             // run() threw on any violation, so reaching here means the
             // whole batch is legal. Stderr only: --verify must never

@@ -343,6 +343,10 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                   1, order.size() / (std::size_t(threads_) * 8));
 
     const bool verify = opts.verify || kAlwaysVerifyResults;
+    const bool certify = opts.certify || opts.certificates != nullptr;
+    std::vector<CertSummary> *certOut = opts.certificates;
+    if (certOut)
+        certOut->assign(jobs.size(), CertSummary{});
 
     std::vector<PipelineResult> results(jobs.size());
     dispatch(
@@ -356,7 +360,7 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
             std::shared_ptr<ModuloScheduler> ims =
                 makeScheduler(SchedulerKind::Ims);
             return [this, &suite, &m, &jobs, &results, &order, verify,
-                    hrms, ims](std::size_t k) {
+                    certify, certOut, hrms, ims](std::size_t k) {
                 const std::size_t i = order[k];
                 const BatchJob &job = jobs[i];
                 const Ddg &g = suite[std::size_t(job.loop)].graph;
@@ -381,6 +385,35 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                         SWP_FATAL("job ", i, " (loop '", g.name(),
                                   "'): illegal pipeline result:\n",
                                   report.describe());
+                    }
+                }
+                if (certify) {
+                    // Certify the graph the schedule refers to (the
+                    // spill-transformed one for spilled results), at
+                    // the achieved II, then validate the bundle with
+                    // the independent checker and cross-check it
+                    // against the achieved II/register count.
+                    const Ddg &rg = results[i].graph();
+                    const Certificate cert =
+                        certifyLoop(rg, m, results[i].sched.ii());
+                    const CertReport check = checkCertificate(rg, m, cert);
+                    if (!check.ok()) {
+                        SWP_FATAL("job ", i, " (loop '", g.name(),
+                                  "'): optimality certificate rejected "
+                                  "by its own checker:\n",
+                                  check.describe());
+                    }
+                    const CertReport contra =
+                        checkCertificateAgainstResult(cert, results[i]);
+                    if (!contra.ok()) {
+                        SWP_FATAL("job ", i, " (loop '", g.name(),
+                                  "'): certificate contradicts the "
+                                  "achieved result:\n",
+                                  contra.describe());
+                    }
+                    if (certOut) {
+                        (*certOut)[i] =
+                            summarizeCertificate(cert, results[i]);
                     }
                 }
             };

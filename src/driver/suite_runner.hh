@@ -65,6 +65,7 @@
 #include "pipeliner/pipeliner.hh"
 #include "sched/sched_memo.hh"
 #include "support/singleflight.hh"
+#include "verify/certify.hh"
 #include "workload/suitegen.hh"
 
 namespace swp
@@ -126,6 +127,25 @@ struct RunOptions
      * identical with it on or off.
      */
     bool verify = false;
+
+    /**
+     * Generate the optimality-certificate bundle (verify/certify) for
+     * every evaluated result, validate it with the independent
+     * certificate checker, and cross-check it against the achieved
+     * II/register count; any rejected certificate or contradiction
+     * makes run() throw a FatalError. Like verify, certification reads
+     * finished results only — it never touches stdout bytes.
+     */
+    bool certify = false;
+
+    /**
+     * When set (implies certify), resized to jobs.size() and slot i
+     * filled with job i's certificate summary; sharded-out slots stay
+     * invalid. Summaries are a pure function of the job, so the filled
+     * slots are identical at any thread count, shard spec, and chunk
+     * policy.
+     */
+    std::vector<CertSummary> *certificates = nullptr;
 };
 
 /** Deterministic worker-pool evaluator for batches of pipeline jobs. */

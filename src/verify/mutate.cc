@@ -79,6 +79,46 @@ withSlotDropped(const KernelCode &kernel, NodeId n)
                     [](KernelCode &, int, const KernelSlot &) {});
 }
 
+Certificate
+withCycleEdge(const Certificate &cert, std::size_t pos, EdgeId e)
+{
+    Certificate mutant = cert;
+    mutant.cycle.edges.at(pos) = e;
+    return mutant;
+}
+
+Certificate
+withTallyOccupancy(const Certificate &cert, std::size_t pos, long occ)
+{
+    Certificate mutant = cert;
+    mutant.resource.tallies.at(pos).occupancy = occ;
+    return mutant;
+}
+
+Certificate
+withTermLifetime(const Certificate &cert, std::size_t pos, int lt)
+{
+    Certificate mutant = cert;
+    mutant.registers.terms.at(pos).minLifetime = lt;
+    return mutant;
+}
+
+Certificate
+withRegisterBound(const Certificate &cert, int bound)
+{
+    Certificate mutant = cert;
+    mutant.registers.bound = bound;
+    return mutant;
+}
+
+Certificate
+withIiBound(const Certificate &cert, int bound)
+{
+    Certificate mutant = cert;
+    mutant.iiBound = bound;
+    return mutant;
+}
+
 EdgeId
 findTightEdge(const Ddg &g, const Machine &m, const Schedule &s)
 {

@@ -17,6 +17,7 @@
 #include "ir/ddg.hh"
 #include "regalloc/rotalloc.hh"
 #include "sched/schedule.hh"
+#include "verify/certify.hh"
 
 namespace swp
 {
@@ -48,6 +49,32 @@ KernelCode withSlotDropped(const KernelCode &kernel, NodeId n);
  * instead). Used by tests to pick a provably illegal cycle mutation.
  */
 EdgeId findTightEdge(const Ddg &g, const Machine &m, const Schedule &s);
+
+/** @name Certificate corruptions (verify/certify negative testing).
+    Each perturbs exactly one site of a valid certificate bundle; the
+    certificate checker must reject every mutant with a diagnostic of
+    the matching CertKind. */
+/// @{
+
+/** Copy of cert with critical-cycle edge `pos` replaced by `e`. */
+Certificate withCycleEdge(const Certificate &cert, std::size_t pos,
+                          EdgeId e);
+
+/** Copy of cert with resource tally `pos`'s occupancy set to `occ`. */
+Certificate withTallyOccupancy(const Certificate &cert, std::size_t pos,
+                               long occ);
+
+/** Copy of cert with register term `pos`'s lifetime floor set to lt. */
+Certificate withTermLifetime(const Certificate &cert, std::size_t pos,
+                             int lt);
+
+/** Copy of cert with the register floor raised/lowered to `bound`. */
+Certificate withRegisterBound(const Certificate &cert, int bound);
+
+/** Copy of cert claiming the overall II lower bound `bound`. */
+Certificate withIiBound(const Certificate &cert, int bound);
+
+/// @}
 
 } // namespace swp
 

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Byte-identity guard for the certificate JSON stream.
+#
+# The --certify-out JSONL file is specified to be a pure function of the
+# job list: identical at any worker-thread count, and the union of N
+# sharded runs' lines (reordered by job index) must equal the unsharded
+# file byte for byte. This script pins all three properties on a
+# 120-loop pinned-seed suite:
+#
+#   1. --threads 1 vs --threads 8 produce identical JSONL bytes;
+#   2. shard 0/2 + shard 1/2, merged by job index, reproduce the
+#      unsharded JSONL exactly;
+#   3. stdout (the CSV the fingerprint guards) is byte-identical with
+#      and without --certify, so certification observes without
+#      perturbing.
+#
+# Usage: check_certify_determinism.sh /path/to/swpipe_cli
+set -eu
+
+cli="$1"
+tmp="${TMPDIR:-/tmp}/swp_certify_$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+"$cli" --suite 120 --csv > "$tmp/plain.csv" 2>/dev/null
+
+"$cli" --suite 120 --csv --threads 1 --certify-out "$tmp/t1.jsonl" \
+    > "$tmp/t1.csv" 2>/dev/null
+"$cli" --suite 120 --csv --threads 8 --certify-out "$tmp/t8.jsonl" \
+    > /dev/null 2>/dev/null
+
+if ! cmp -s "$tmp/plain.csv" "$tmp/t1.csv"; then
+    echo "--certify changed stdout; it must only write stderr/JSONL" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/t1.jsonl" "$tmp/t8.jsonl"; then
+    echo "certificate JSONL differs between --threads 1 and 8" >&2
+    exit 1
+fi
+
+"$cli" --suite 120 --csv --shard 0/2 --shard-out "$tmp/s0.bin" \
+    --certify-out "$tmp/s0.jsonl" > /dev/null 2>/dev/null
+"$cli" --suite 120 --csv --shard 1/2 --shard-out "$tmp/s1.bin" \
+    --certify-out "$tmp/s1.jsonl" > /dev/null 2>/dev/null
+
+# Merge the shard lines back into job order, preserving each line's
+# bytes (sorted on the parsed "job" field only).
+cat "$tmp/s0.jsonl" "$tmp/s1.jsonl" | python3 -c '
+import json
+import sys
+
+lines = sys.stdin.readlines()
+lines.sort(key=lambda line: json.loads(line)["job"])
+sys.stdout.write("".join(lines))
+' > "$tmp/merged.jsonl"
+
+if ! cmp -s "$tmp/t1.jsonl" "$tmp/merged.jsonl"; then
+    echo "merged shard certificate JSONL differs from unsharded run" >&2
+    exit 1
+fi
+
+lines=$(wc -l < "$tmp/t1.jsonl")
+if [ "$lines" -ne 120 ]; then
+    echo "expected 120 certificate lines, got $lines" >&2
+    exit 1
+fi
+echo "certify determinism OK (120 jobs; threads + shard merge identical)"
