@@ -72,7 +72,7 @@ runAblation(benchmark::State &state)
     const std::vector<SuiteLoop> suite(
         full.begin(),
         full.begin() + std::min<std::ptrdiff_t>(400, full.size()));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchMachine();
 
     for (auto _ : state) {
         Table table({"scheduler", "fusion", "converged", "cycles(1e9)",

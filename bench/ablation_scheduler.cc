@@ -29,7 +29,7 @@ void
 runAblation(benchmark::State &state)
 {
     const auto &suite = evaluationSuite();
-    const Machine m = Machine::p2l4();
+    const Machine m = benchMachine();
 
     for (auto _ : state) {
         SuiteRunner &runner = suiteRunner();

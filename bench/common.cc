@@ -8,6 +8,7 @@
 #include <iostream>
 #include <limits>
 
+#include "machine/machdesc.hh"
 #include "support/diag.hh"
 #include "support/stats.hh"
 #include "support/strutil.hh"
@@ -269,7 +270,17 @@ runSuite(const std::vector<SuiteLoop> &suite, const Machine &m,
 std::vector<Machine>
 evaluationMachines()
 {
+    if (!benchOptions().machineSpec.empty())
+        return {machineFromSpec(benchOptions().machineSpec)};
     return {Machine::p1l4(), Machine::p2l4(), Machine::p2l6()};
+}
+
+Machine
+benchMachine(const Machine &fallback)
+{
+    if (!benchOptions().machineSpec.empty())
+        return machineFromSpec(benchOptions().machineSpec);
+    return fallback;
 }
 
 const std::vector<SuiteLoop> &
@@ -343,6 +354,8 @@ initBenchArgs(int *argc, char ***argv, bool nativeJson)
             opts.verify = true;
         } else if (!std::strcmp(arg, "--certify")) {
             opts.certify = true;
+        } else if (!std::strcmp(arg, "--machine")) {
+            opts.machineSpec = next(i, arg);
         } else {
             keep.push_back(arg);
         }

@@ -77,6 +77,12 @@ namespace swp::benchutil
  *                    certificate or a contradiction aborts the harness.
  *                    Results and recorded numbers are unchanged by the
  *                    flag.
+ *   --machine <spec> evaluate on one machine instead of the harness's
+ *                    defaults: a preset name (p1l4, p2l4, p2l6,
+ *                    universal) or the path of a machine-description
+ *                    file (machine/machdesc format). Grids that sweep
+ *                    the Section 5 configurations collapse to the one
+ *                    specified machine.
  */
 struct BenchOptions
 {
@@ -89,6 +95,9 @@ struct BenchOptions
     ShardSpec shard;
     bool verify = false;
     bool certify = false;
+    /** --machine spec (preset name or description file); empty = the
+        harness's default machine(s). */
+    std::string machineSpec;
 
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */
@@ -183,8 +192,13 @@ struct SuiteTotals
 SuiteTotals runSuite(const std::vector<SuiteLoop> &suite, const Machine &m,
                      int registers, Variant v);
 
-/** The three Section 5 machine configurations. */
+/** The --machine override when given, else the three Section 5
+    machine configurations. */
 std::vector<Machine> evaluationMachines();
+
+/** The --machine override when given, else `fallback` — for harnesses
+    that evaluate a single fixed machine. */
+Machine benchMachine(const Machine &fallback = Machine::p2l4());
 
 /** The evaluation suite (cached across calls within one process). */
 const std::vector<SuiteLoop> &evaluationSuite();

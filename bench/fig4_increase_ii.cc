@@ -68,7 +68,7 @@ sweep(const Ddg &g, const Machine &m, int max_extra, Table &table)
 void
 runFig4(benchmark::State &state)
 {
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     for (auto _ : state) {
         std::cout << "\nFigure 4: register requirement vs II (P2L4"
                   << benchutil::shardSuffix() << ")\n";

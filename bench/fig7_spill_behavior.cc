@@ -72,7 +72,7 @@ traceSpilling(const Ddg &g, const Machine &m, int registers)
 void
 runFig7(benchmark::State &state)
 {
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     for (auto _ : state) {
         std::cout << "\nFigure 7: spilling one lifetime per round, "
                      "Max(LT), P2L4" << benchutil::shardSuffix()

@@ -49,7 +49,7 @@ void
 BM_Mii(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     for (auto _ : state)
         benchmark::DoNotOptimize(mii(loop.graph, m));
     state.SetLabel(loop.graph.name() + "/" +
@@ -61,7 +61,7 @@ void
 BM_HrmsAtMii(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     const int lower = mii(loop.graph, m);
     HrmsScheduler hrms;
     for (auto _ : state)
@@ -73,7 +73,7 @@ void
 BM_ImsAtMii(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     const int lower = mii(loop.graph, m);
     ImsScheduler ims;
     for (auto _ : state)
@@ -90,7 +90,7 @@ BM_HrmsIiSweep(benchmark::State &state)
     // the recurrence-decomposition cache target: every probe after the
     // first reuses the scratch buffers and the cached cyclic SCCs.
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     const int lower = mii(loop.graph, m);
     HrmsScheduler hrms;
     for (auto _ : state) {
@@ -105,7 +105,7 @@ void
 BM_ImsIiSweep(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     const int lower = mii(loop.graph, m);
     ImsScheduler ims;
     for (auto _ : state) {
@@ -120,7 +120,7 @@ void
 BM_RotatingAllocation(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     const PipelineResult r = pipelineIdeal(loop.graph, m);
     const LifetimeInfo info = analyzeLifetimes(loop.graph, r.sched);
     for (auto _ : state)
@@ -132,7 +132,7 @@ void
 BM_ConstrainedPipeline(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(int(state.range(0)));
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     PipelinerOptions opts;
     opts.registers = 32;
     opts.multiSelect = true;
@@ -151,7 +151,7 @@ BM_SuiteRunnerBatch(benchmark::State &state)
     // driver; honours --threads, so this benchmark doubles as the
     // wall-clock measurement of the worker-pool speedup.
     const std::vector<SuiteLoop> &suite = benchutil::evaluationSuite();
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     SuiteRunner &runner = benchutil::suiteRunner();
     std::vector<BatchJob> jobs;
     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -177,7 +177,7 @@ void
 BM_Simulator(benchmark::State &state)
 {
     const SuiteLoop &loop = loopOfSize(24);
-    const Machine m = Machine::p2l4();
+    const Machine m = benchutil::benchMachine();
     const PipelineResult r = pipelineIdeal(loop.graph, m);
     SimConfig cfg;
     cfg.iterations = state.range(0);

@@ -25,7 +25,7 @@ void
 runSweep(benchmark::State &state)
 {
     const auto &suite = evaluationSuite();
-    const Machine m = Machine::p2l4();
+    const Machine m = benchMachine();
 
     for (auto _ : state) {
         const SuiteTotals ideal =

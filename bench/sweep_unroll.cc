@@ -71,7 +71,7 @@ sweepLoop(const Ddg &g, const Machine &m, int registers, Table &table)
 void
 runSweep(benchmark::State &state)
 {
-    const Machine m = Machine::p2l4();
+    const Machine m = benchMachine();
     const auto &full = evaluationSuite();
 
     for (auto _ : state) {

@@ -8,12 +8,13 @@
  *   spill_explorer                     # the APSI 47 analogue on P2L4
  *   spill_explorer file.ddg [config]   # loops from a .ddg file
  *
- * config is one of p1l4, p2l4 (default), p2l6.
+ * config is a machine spec: a preset name (p1l4, p2l4 (default), p2l6,
+ * universal) or the path of a machine-description file.
  */
 
-#include <cstring>
 #include <iostream>
 
+#include "machine/machdesc.hh"
 #include "pipeliner/pipeliner.hh"
 #include "sched/mii.hh"
 #include "support/diag.hh"
@@ -25,18 +26,6 @@ namespace
 {
 
 using namespace swp;
-
-Machine
-machineByName(const char *name)
-{
-    if (!std::strcmp(name, "p1l4"))
-        return Machine::p1l4();
-    if (!std::strcmp(name, "p2l6"))
-        return Machine::p2l6();
-    if (!std::strcmp(name, "p2l4"))
-        return Machine::p2l4();
-    SWP_FATAL("unknown machine '", name, "' (p1l4, p2l4, p2l6)");
-}
 
 void
 explore(const Ddg &g, const Machine &m)
@@ -84,7 +73,7 @@ main(int argc, char **argv)
 {
     using namespace swp;
 
-    const Machine m = machineByName(argc > 2 ? argv[2] : "p2l4");
+    const Machine m = machineFromSpec(argc > 2 ? argv[2] : "p2l4");
     if (argc > 1) {
         for (const SuiteLoop &loop : parseDdgFile(argv[1]))
             explore(loop.graph, m);

@@ -10,7 +10,11 @@
  *   swpipe_cli [options] [file.ddg ...]
  *
  * Options:
- *   --machine p1l4|p2l4|p2l6      machine configuration (default p2l4)
+ *   --machine SPEC                machine configuration: a preset name
+ *                                 (p1l4, p2l4, p2l6, universal) or the
+ *                                 path of a machine-description file
+ *                                 (machine/machdesc format; see
+ *                                 examples/machines/). Default p2l4.
  *   --registers N                 register budget (default 32)
  *   --strategy ideal|increase-ii|spill|best   (default best)
  *   --scheduler hrms|ims          core scheduler (default hrms)
@@ -85,6 +89,7 @@
 #include "driver/shard_merge.hh"
 #include "driver/suite_runner.hh"
 #include "ir/builder.hh"
+#include "machine/machdesc.hh"
 #include "pipeliner/pipeliner.hh"
 #include "sched/fingerprint.hh"
 #include "sched/mii.hh"
@@ -160,15 +165,7 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--machine")) {
-            const char *name = nextArg(argc, argv, i, arg);
-            if (!std::strcmp(name, "p1l4"))
-                opts.machine = Machine::p1l4();
-            else if (!std::strcmp(name, "p2l4"))
-                opts.machine = Machine::p2l4();
-            else if (!std::strcmp(name, "p2l6"))
-                opts.machine = Machine::p2l6();
-            else
-                usageError(std::string("unknown machine ") + name);
+            opts.machine = machineFromSpec(nextArg(argc, argv, i, arg));
         } else if (!std::strcmp(arg, "--registers")) {
             opts.pipeline.registers =
                 std::atoi(nextArg(argc, argv, i, arg));

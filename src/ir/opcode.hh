@@ -30,6 +30,9 @@ enum class Opcode
             ///< picks between two values on an adder.
 };
 
+/** Number of Opcode values (for per-opcode table sizing). */
+constexpr int numOpcodes = 9;
+
 /** Functional-unit class an operation executes on. */
 enum class FuClass
 {

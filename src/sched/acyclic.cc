@@ -18,14 +18,12 @@ class LinearRt
   public:
     LinearRt(const Machine &m, int horizon)
         : m_(m), horizon_(horizon),
-          busy_(std::size_t(numFuClasses))
+          busy_(std::size_t(m.numClasses()))
     {
-        for (int fu = 0; fu < numFuClasses; ++fu) {
-            const int units = m.isUniversal()
-                                  ? (fu == 0 ? m.unitsFor(FuClass(0)) : 0)
-                                  : m.unitsFor(FuClass(fu));
-            busy_[std::size_t(fu)].assign(
-                std::size_t(units) * std::size_t(horizon), false);
+        for (int cls = 0; cls < m.numClasses(); ++cls) {
+            busy_[std::size_t(cls)].assign(
+                std::size_t(m.unitsInClass(cls)) * std::size_t(horizon),
+                false);
         }
     }
 
@@ -33,15 +31,15 @@ class LinearRt
     int
     findUnit(Opcode op, int t) const
     {
-        const int fu = classIndex(op);
-        const int units = m_.unitsFor(fuClassOf(op));
+        const int cls = m_.classOf(op);
+        const int units = m_.unitsInClass(cls);
         const int occ = m_.occupancy(op);
         if (t < 0 || t + occ > horizon_)
             return -1;
         for (int u = 0; u < units; ++u) {
             bool free = true;
             for (int c = 0; c < occ && free; ++c)
-                free = !busy_[std::size_t(fu)][idx(u, t + c)];
+                free = !busy_[std::size_t(cls)][idx(u, t + c)];
             if (free)
                 return u;
         }
@@ -51,19 +49,13 @@ class LinearRt
     void
     reserve(Opcode op, int t, int u)
     {
-        const int fu = classIndex(op);
+        const int cls = m_.classOf(op);
         const int occ = m_.occupancy(op);
         for (int c = 0; c < occ; ++c)
-            busy_[std::size_t(fu)][idx(u, t + c)] = true;
+            busy_[std::size_t(cls)][idx(u, t + c)] = true;
     }
 
   private:
-    int
-    classIndex(Opcode op) const
-    {
-        return m_.isUniversal() ? 0 : int(fuClassOf(op));
-    }
-
     std::size_t
     idx(int unit, int t) const
     {

@@ -1,5 +1,7 @@
 #include "sched/fingerprint.hh"
 
+#include "machine/machdesc.hh"
+
 namespace swp
 {
 
@@ -43,16 +45,9 @@ graphFingerprint(const Ddg &g)
 std::uint64_t
 machineFingerprint(const Machine &m)
 {
-    Fingerprint fp;
-    fp.mix(m.name());
-    fp.mix(std::uint64_t(m.isUniversal()));
-    for (int fu = 0; fu < numFuClasses; ++fu) {
-        fp.mix(std::uint64_t(m.unitsFor(FuClass(fu))));
-        fp.mix(std::uint64_t(m.pipelinedClass(FuClass(fu))));
-    }
-    for (int op = 0; op < numOpcodes; ++op)
-        fp.mix(std::uint64_t(m.latency(Opcode(op))));
-    return fp.value();
+    // The machine layer owns its content hash (it also keys shard-file
+    // config fingerprints); memo keys reuse it unchanged.
+    return machineContentFingerprint(m);
 }
 
 bool
@@ -87,18 +82,7 @@ graphsFingerprintEquivalent(const Ddg &a, const Ddg &b)
 bool
 machinesFingerprintEquivalent(const Machine &a, const Machine &b)
 {
-    if (a.name() != b.name() || a.isUniversal() != b.isUniversal())
-        return false;
-    for (int fu = 0; fu < numFuClasses; ++fu) {
-        if (a.unitsFor(FuClass(fu)) != b.unitsFor(FuClass(fu)) ||
-            a.pipelinedClass(FuClass(fu)) != b.pipelinedClass(FuClass(fu)))
-            return false;
-    }
-    for (int op = 0; op < numOpcodes; ++op) {
-        if (a.latency(Opcode(op)) != b.latency(Opcode(op)))
-            return false;
-    }
-    return true;
+    return a == b;
 }
 
 } // namespace swp

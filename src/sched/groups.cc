@@ -14,54 +14,63 @@ fusedDelayOf(const Ddg &g, const Machine &m, const Edge &edge)
                                : m.latency(g.node(edge.src).op);
 }
 
-GroupSet::GroupSet(const Ddg &g, const Machine &m)
+void
+GroupSet::reset(const Ddg &g, const Machine &m)
 {
     const int n = g.numNodes();
     groupOf_.assign(std::size_t(n), -1);
     offsetOf_.assign(std::size_t(n), 0);
 
     // Union-find over fused edges.
-    std::vector<int> parent(static_cast<std::size_t>(n));
+    parent_.resize(std::size_t(n));
     for (int i = 0; i < n; ++i)
-        parent[std::size_t(i)] = i;
+        parent_[std::size_t(i)] = i;
     auto find = [&](int x) {
-        while (parent[std::size_t(x)] != x) {
-            parent[std::size_t(x)] =
-                parent[std::size_t(parent[std::size_t(x)])];
-            x = parent[std::size_t(x)];
+        while (parent_[std::size_t(x)] != x) {
+            parent_[std::size_t(x)] =
+                parent_[std::size_t(parent_[std::size_t(x)])];
+            x = parent_[std::size_t(x)];
         }
         return x;
     };
 
-    std::vector<EdgeId> fused;
+    fused_.clear();
     for (EdgeId e = 0; e < g.numEdges(); ++e) {
         const Edge &edge = g.edge(e);
         if (edge.alive && edge.nonSpillable) {
-            fused.push_back(e);
+            fused_.push_back(e);
             const int a = find(edge.src);
             const int b = find(edge.dst);
             if (a != b)
-                parent[std::size_t(a)] = b;
+                parent_[std::size_t(a)] = b;
         }
     }
 
-    // Gather members per root.
-    std::vector<int> rootGroup(std::size_t(n), -1);
+    // Gather members per root; recycled group slots keep the capacity
+    // of their member/offset vectors.
+    rootGroup_.assign(std::size_t(n), -1);
+    numGroups_ = 0;
     for (NodeId v = 0; v < n; ++v) {
         const int r = find(v);
-        if (rootGroup[std::size_t(r)] < 0) {
-            rootGroup[std::size_t(r)] = int(groups_.size());
-            groups_.emplace_back();
+        if (rootGroup_[std::size_t(r)] < 0) {
+            rootGroup_[std::size_t(r)] = numGroups_;
+            if (numGroups_ == int(groups_.size()))
+                groups_.emplace_back();
+            groups_[std::size_t(numGroups_)].members.clear();
+            groups_[std::size_t(numGroups_)].offsets.clear();
+            ++numGroups_;
         }
-        const int gi = rootGroup[std::size_t(r)];
+        const int gi = rootGroup_[std::size_t(r)];
         groupOf_[std::size_t(v)] = gi;
         groups_[std::size_t(gi)].members.push_back(v);
     }
 
     // Solve offsets inside each group by propagating fused-edge
     // constraints offset(dst) = offset(src) + latency(src).
-    std::vector<bool> known(std::size_t(n), false);
-    for (auto &grp : groups_) {
+    known_.assign(std::size_t(n), 0);
+    auto &known = known_;
+    for (int gii = 0; gii < numGroups_; ++gii) {
+        ComplexGroup &grp = groups_[std::size_t(gii)];
         if (grp.members.size() == 1) {
             grp.offsets.assign(1, 0);
             known[std::size_t(grp.members[0])] = true;
@@ -70,10 +79,12 @@ GroupSet::GroupSet(const Ddg &g, const Machine &m)
         // BFS from the first member.
         offsetOf_[std::size_t(grp.members[0])] = 0;
         known[std::size_t(grp.members[0])] = true;
-        std::vector<NodeId> frontier = {grp.members[0]};
+        frontier_.assign(1, grp.members[0]);
+        auto &frontier = frontier_;
         while (!frontier.empty()) {
-            std::vector<NodeId> next;
-            for (EdgeId e : fused) {
+            auto &next = next_;
+            next.clear();
+            for (EdgeId e : fused_) {
                 const Edge &edge = g.edge(e);
                 const int lat = fusedDelayOf(g, m, edge);
                 for (NodeId v : frontier) {
@@ -104,7 +115,7 @@ GroupSet::GroupSet(const Ddg &g, const Machine &m)
                     }
                 }
             }
-            frontier = std::move(next);
+            std::swap(frontier_, next_);
         }
 
         // Normalize: smallest offset becomes 0; sort members by offset.

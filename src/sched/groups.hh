@@ -49,9 +49,20 @@ struct ComplexGroup
 class GroupSet
 {
   public:
-    GroupSet(const Ddg &g, const Machine &m);
+    /** An empty set; reset() must run before any other member. */
+    GroupSet() = default;
 
-    int numGroups() const { return int(groups_.size()); }
+    GroupSet(const Ddg &g, const Machine &m) { reset(g, m); }
+
+    /**
+     * Rebind to a (graph, machine) pair. All storage — the groups,
+     * their member/offset vectors, and the union-find/BFS scratch — is
+     * recycled, so a workspace-resident GroupSet stops allocating once
+     * it has seen the largest loop of a batch.
+     */
+    void reset(const Ddg &g, const Machine &m);
+
+    int numGroups() const { return numGroups_; }
     const ComplexGroup &group(int gi) const
     {
         return groups_[std::size_t(gi)];
@@ -64,9 +75,18 @@ class GroupSet
     int offsetOf(NodeId n) const { return offsetOf_[std::size_t(n)]; }
 
   private:
+    /** First numGroups_ entries are live; the tail keeps its capacity. */
     std::vector<ComplexGroup> groups_;
+    int numGroups_ = 0;
     std::vector<int> groupOf_;
     std::vector<int> offsetOf_;
+    /** @name reset() scratch */
+    /// @{
+    std::vector<int> parent_, rootGroup_;
+    std::vector<char> known_;
+    std::vector<EdgeId> fused_;
+    std::vector<NodeId> frontier_, next_;
+    /// @}
 };
 
 } // namespace swp

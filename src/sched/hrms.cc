@@ -37,8 +37,8 @@ struct HrmsContext
     const Machine &m;
     const int ii;
     SchedWorkspace &ws;
-    GroupSet groups;
-    int n = 0;  ///< Number of complex groups.
+    GroupSet &groups;  ///< ws.groups, rebuilt for this probe.
+    int n = 0;         ///< Number of complex groups.
 
     HrmsContext(const Ddg &graph, const Machine &mach, int interval,
                 SchedWorkspace &workspace)
@@ -46,9 +46,10 @@ struct HrmsContext
           m(mach),
           ii(interval),
           ws(workspace),
-          groups(graph, mach),
-          n(groups.numGroups())
+          groups(workspace.groups)
     {
+        groups.reset(graph, mach);
+        n = groups.numGroups();
         buildGroupGraph();
 
         ws.prio.compute(g, m, ii);
@@ -80,6 +81,9 @@ struct HrmsContext
         ws.pred.reset(n);
         ws.succ0.reset(n);
         ws.pred0.reset(n);
+        ws.predMask.reset(n, n);
+        ws.succMask.reset(n, n);
+        ws.pred0Mask.reset(n, n);
         ws.edgeSeen.reset(n, n);
         ws.edgeSeen0.reset(n, n);
         for (EdgeId e = 0; e < g.numEdges(); ++e) {
@@ -94,11 +98,14 @@ struct HrmsContext
                 ws.edgeSeen.set(a, b);
                 ws.succ[a].push_back(b);
                 ws.pred[b].push_back(a);
+                ws.succMask.set(a, b);
+                ws.predMask.set(b, a);
             }
             if (edge.distance == 0 && !ws.edgeSeen0.test(a, b)) {
                 ws.edgeSeen0.set(a, b);
                 ws.pred0[b].push_back(a);
                 ws.succ0[a].push_back(b);
+                ws.pred0Mask.set(b, a);
             }
         }
 
@@ -409,36 +416,33 @@ class Ordering
     /**
      * Append a recurrence component in topological order of its
      * internal zero-distance edges; ties by criticality.
+     *
+     * Readiness ("no unplaced in-set predecessor") is one word-parallel
+     * intersection of the candidate's predecessor bit row with the
+     * remaining-members mask. The condensed adjacency holds no
+     * self-edges (group-internal edges are skipped when it is built),
+     * so a member's own remaining bit can never veto it.
      */
     void
     absorbZeroDistanceTopological(std::vector<int> set)
     {
         sortByCriticality(set);
-        ws_.inSetFlag.assign(std::size_t(ctx_.n), 0);
+        ws_.remainMask.reset(ctx_.n);
         for (const int v : set)
-            ws_.inSetFlag[std::size_t(v)] = 1;
-        ws_.doneFlag.assign(std::size_t(ctx_.n), 0);
+            ws_.remainMask.set(v);
         for (std::size_t placed = 0; placed < set.size(); ++placed) {
             int pick = -1;
             for (const int v : set) {
-                if (ws_.doneFlag[std::size_t(v)])
+                if (!ws_.remainMask.test(v))
                     continue;
-                bool ready = true;
-                for (const int p : ws_.pred0[v]) {
-                    if (ws_.inSetFlag[std::size_t(p)] &&
-                        !ws_.doneFlag[std::size_t(p)] && p != v) {
-                        ready = false;
-                        break;
-                    }
-                }
-                if (ready) {
+                if (!ws_.pred0Mask.intersects(v, ws_.remainMask.words())) {
                     pick = v;
                     break;
                 }
             }
             SWP_ASSERT(pick >= 0,
                        "zero-distance cycle inside a recurrence");
-            ws_.doneFlag[std::size_t(pick)] = 1;
+            ws_.remainMask.clear(pick);
             append(pick);
         }
     }
@@ -452,24 +456,15 @@ class Ordering
     absorbTopological(std::vector<int> set)
     {
         sortByCriticality(set);
-        ws_.inSetFlag.assign(std::size_t(ctx_.n), 0);
+        ws_.remainMask.reset(ctx_.n);
         for (const int v : set)
-            ws_.inSetFlag[std::size_t(v)] = 1;
-        ws_.doneFlag.assign(std::size_t(ctx_.n), 0);
+            ws_.remainMask.set(v);
         for (std::size_t placed = 0; placed < set.size(); ++placed) {
             int pick = -1;
             for (const int v : set) {
-                if (ws_.doneFlag[std::size_t(v)])
+                if (!ws_.remainMask.test(v))
                     continue;
-                bool ready = true;
-                for (const int p : ws_.pred[v]) {
-                    if (ws_.inSetFlag[std::size_t(p)] &&
-                        !ws_.doneFlag[std::size_t(p)] && p != v) {
-                        ready = false;
-                        break;
-                    }
-                }
-                if (ready) {
+                if (!ws_.predMask.intersects(v, ws_.remainMask.words())) {
                     pick = v;
                     break;
                 }
@@ -477,13 +472,13 @@ class Ordering
             if (pick < 0) {
                 // Cycle: take the most critical remaining node.
                 for (const int v : set) {
-                    if (!ws_.doneFlag[std::size_t(v)]) {
+                    if (ws_.remainMask.test(v)) {
                         pick = v;
                         break;
                     }
                 }
             }
-            ws_.doneFlag[std::size_t(pick)] = 1;
+            ws_.remainMask.clear(pick);
             append(pick);
         }
     }
@@ -503,37 +498,28 @@ class Ordering
             return ws_.gHeight[std::size_t(a)] <
                    ws_.gHeight[std::size_t(b)];
         });
-        ws_.inSetFlag.assign(std::size_t(ctx_.n), 0);
+        ws_.remainMask.reset(ctx_.n);
         for (const int v : set)
-            ws_.inSetFlag[std::size_t(v)] = 1;
-        ws_.doneFlag.assign(std::size_t(ctx_.n), 0);
+            ws_.remainMask.set(v);
         for (std::size_t placed = 0; placed < set.size(); ++placed) {
             int pick = -1;
             for (const int v : set) {
-                if (ws_.doneFlag[std::size_t(v)])
+                if (!ws_.remainMask.test(v))
                     continue;
-                bool ready = true;
-                for (const int s : ws_.succ[v]) {
-                    if (ws_.inSetFlag[std::size_t(s)] &&
-                        !ws_.doneFlag[std::size_t(s)] && s != v) {
-                        ready = false;
-                        break;
-                    }
-                }
-                if (ready) {
+                if (!ws_.succMask.intersects(v, ws_.remainMask.words())) {
                     pick = v;
                     break;
                 }
             }
             if (pick < 0) {
                 for (const int v : set) {
-                    if (!ws_.doneFlag[std::size_t(v)]) {
+                    if (ws_.remainMask.test(v)) {
                         pick = v;
                         break;
                     }
                 }
             }
-            ws_.doneFlag[std::size_t(pick)] = 1;
+            ws_.remainMask.clear(pick);
             append(pick);
         }
     }

@@ -19,7 +19,8 @@ ImsScheduler::scheduleAt(const Ddg &g, const Machine &m, int ii)
     if (!iiFeasibleForRecurrences(g, m, ii, ws_.recurrences))
         return std::nullopt;
 
-    const GroupSet groups(g, m);
+    ws_.groups.reset(g, m);
+    const GroupSet &groups = ws_.groups;
     if (!groupsInternallyFeasible(g, m, groups, ii))
         return std::nullopt;
 

@@ -15,37 +15,25 @@ int
 resMii(const Ddg &g, const Machine &m)
 {
     // Total unit occupancy per class.
-    long occupancy[numFuClasses] = {0, 0, 0, 0};
+    std::vector<long> occupancy(std::size_t(m.numClasses()), 0);
     int maxSingleOccupancy = 1;
-    if (m.isUniversal()) {
-        long total = 0;
-        for (NodeId n = 0; n < g.numNodes(); ++n) {
-            total += m.occupancy(g.node(n).op);
-            maxSingleOccupancy =
-                std::max(maxSingleOccupancy, m.occupancy(g.node(n).op));
-        }
-        const long units = m.unitsFor(FuClass::Mem);
-        const long bound = (total + units - 1) / units;
-        return int(std::max<long>(maxSingleOccupancy,
-                                  std::max<long>(1, bound)));
-    }
-
     for (NodeId n = 0; n < g.numNodes(); ++n) {
         const Opcode op = g.node(n).op;
-        occupancy[int(fuClassOf(op))] += m.occupancy(op);
+        occupancy[std::size_t(m.classOf(op))] += m.occupancy(op);
         // A non-pipelined op re-needs its unit after II cycles, so the
         // pattern only fits if II >= occupancy.
         maxSingleOccupancy = std::max(maxSingleOccupancy, m.occupancy(op));
     }
 
     long bound = 1;
-    for (int fu = 0; fu < numFuClasses; ++fu) {
-        const long units = m.unitsFor(FuClass(fu));
-        if (occupancy[fu] == 0)
+    for (int cls = 0; cls < m.numClasses(); ++cls) {
+        const long units = m.unitsInClass(cls);
+        if (occupancy[std::size_t(cls)] == 0)
             continue;
-        SWP_ASSERT(units > 0, "ops of class ", fuClassName(FuClass(fu)),
+        SWP_ASSERT(units > 0, "ops of class ", m.className(cls),
                    " but machine has no such unit");
-        bound = std::max(bound, (occupancy[fu] + units - 1) / units);
+        bound = std::max(bound,
+                         (occupancy[std::size_t(cls)] + units - 1) / units);
     }
     return int(std::max<long>(bound, maxSingleOccupancy));
 }

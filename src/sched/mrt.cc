@@ -14,41 +14,37 @@ Mrt::reset(const Machine &m, int ii)
     SWP_ASSERT(ii >= 1, "MRT needs a positive II");
     m_ = &m;
     ii_ = ii;
+    classBase_.resize(std::size_t(m.numClasses()) + 1);
     int base = 0;
-    for (int fu = 0; fu < numFuClasses; ++fu) {
-        classBase_[fu] = base;
-        // For universal machines all classes alias class 0; allocate its
-        // units once and give the rest zero width.
-        const int units =
-            m.isUniversal() ? (fu == 0 ? m.unitsFor(FuClass(0)) : 0)
-                            : m.unitsFor(FuClass(fu));
+    for (int cls = 0; cls < m.numClasses(); ++cls) {
+        classBase_[std::size_t(cls)] = base;
+        const int units = m.unitsInClass(cls);
         SWP_ASSERT(units <= 64,
                    "MRT busy masks hold at most 64 units per class");
         base += units * ii;
     }
-    classBase_[numFuClasses] = base;
+    classBase_[std::size_t(m.numClasses())] = base;
     occupant_.assign(std::size_t(base), invalidNode);
-    busy_.assign(std::size_t((m.isUniversal() ? 1 : numFuClasses) * ii), 0);
+    busy_.assign(std::size_t(m.numClasses() * ii), 0);
 }
 
 int
-Mrt::cell(FuClass fu, int unit, int row) const
+Mrt::cell(int cls, int unit, int row) const
 {
-    const int fi = m_->isUniversal() ? 0 : int(fu);
-    return classBase_[fi] + unit * ii_ + row;
+    return classBase_[std::size_t(cls)] + unit * ii_ + row;
 }
 
 int
-Mrt::maskBase(FuClass fu) const
+Mrt::maskBase(int cls) const
 {
-    return (m_->isUniversal() ? 0 : int(fu)) * ii_;
+    return cls * ii_;
 }
 
 std::uint64_t
-Mrt::busyOver(const std::vector<std::uint64_t> &busy, FuClass fu, int t,
+Mrt::busyOver(const std::vector<std::uint64_t> &busy, int cls, int t,
               int occ) const
 {
-    const int base = maskBase(fu);
+    const int base = maskBase(cls);
     int row = Schedule::floorMod(t, ii_);
     std::uint64_t mask = 0;
     for (int c = 0; c < occ; ++c) {
@@ -62,13 +58,13 @@ Mrt::busyOver(const std::vector<std::uint64_t> &busy, FuClass fu, int t,
 int
 Mrt::findUnit(Opcode op, int t) const
 {
-    const FuClass fu = fuClassOf(op);
-    const int units = m_->unitsFor(fu);
+    const int cls = m_->classOf(op);
+    const int units = m_->unitsInClass(cls);
     const int occ = m_->occupancy(op);
     if (occ > ii_)
         return -1;
     const std::uint64_t free =
-        ~busyOver(busy_, fu, t, occ) & lowBitsMask(units);
+        ~busyOver(busy_, cls, t, occ) & lowBitsMask(units);
     return free ? countTrailingZeros(free) : -1;
 }
 
@@ -78,14 +74,14 @@ Mrt::place(Opcode op, int t, NodeId n)
     const int u = findUnit(op, t);
     if (u < 0)
         return -1;
-    const FuClass fu = fuClassOf(op);
+    const int cls = m_->classOf(op);
     const int occ = m_->occupancy(op);
-    const int base = maskBase(fu);
+    const int base = maskBase(cls);
     const std::uint64_t bit = std::uint64_t(1) << u;
     int row = Schedule::floorMod(t, ii_);
     for (int c = 0; c < occ; ++c) {
         busy_[std::size_t(base + row)] |= bit;
-        occupant_[std::size_t(cell(fu, u, row))] = n;
+        occupant_[std::size_t(cell(cls, u, row))] = n;
         if (++row == ii_)
             row = 0;
     }
@@ -95,13 +91,13 @@ Mrt::place(Opcode op, int t, NodeId n)
 void
 Mrt::remove(Opcode op, int t, NodeId n, int u)
 {
-    const FuClass fu = fuClassOf(op);
+    const int cls = m_->classOf(op);
     const int occ = m_->occupancy(op);
-    const int base = maskBase(fu);
+    const int base = maskBase(cls);
     const std::uint64_t bit = std::uint64_t(1) << u;
     int row = Schedule::floorMod(t, ii_);
     for (int c = 0; c < occ; ++c) {
-        const int idx = cell(fu, u, row);
+        const int idx = cell(cls, u, row);
         SWP_ASSERT(occupant_[std::size_t(idx)] == n,
                    "MRT remove of non-occupant node ", n);
         occupant_[std::size_t(idx)] = invalidNode;
@@ -122,18 +118,18 @@ Mrt::canPlaceGroup(const Ddg &g, const ComplexGroup &grp, int t0) const
     for (std::size_t i = 0; i < grp.members.size(); ++i) {
         const Opcode op = g.node(grp.members[i]).op;
         const int t = t0 + grp.offsets[i];
-        const FuClass fu = fuClassOf(op);
+        const int cls = m_->classOf(op);
         const int occ = m_->occupancy(op);
         if (occ > ii_)
             return false;
         const std::uint64_t free =
-            ~busyOver(groupScratch_, fu, t, occ) &
-            lowBitsMask(m_->unitsFor(fu));
+            ~busyOver(groupScratch_, cls, t, occ) &
+            lowBitsMask(m_->unitsInClass(cls));
         if (!free)
             return false;
         const std::uint64_t bit =
             std::uint64_t(1) << countTrailingZeros(free);
-        const int base = maskBase(fu);
+        const int base = maskBase(cls);
         int row = Schedule::floorMod(t, ii_);
         for (int c = 0; c < occ; ++c) {
             groupScratch_[std::size_t(base + row)] |= bit;
@@ -188,12 +184,12 @@ Mrt::conflicts(Opcode op, int t, std::vector<NodeId> &out) const
         // nodes whose removal cannot help. Consistently report none.
         return;
     }
-    const FuClass fu = fuClassOf(op);
-    const int units = m_->unitsFor(fu);
+    const int cls = m_->classOf(op);
+    const int units = m_->unitsInClass(cls);
     for (int u = 0; u < units; ++u) {
         int row = Schedule::floorMod(t, ii_);
         for (int c = 0; c < occ; ++c) {
-            const NodeId n = occupant_[std::size_t(cell(fu, u, row))];
+            const NodeId n = occupant_[std::size_t(cell(cls, u, row))];
             if (n != invalidNode &&
                 std::find(out.begin(), out.end(), n) == out.end()) {
                 out.push_back(n);

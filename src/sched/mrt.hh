@@ -108,11 +108,11 @@ class Mrt
     }
 
   private:
-    int cell(FuClass fu, int unit, int row) const;
-    int maskBase(FuClass fu) const;
+    int cell(int cls, int unit, int row) const;
+    int maskBase(int cls) const;
     /** OR of the busy masks over the op's occupancy rows. */
-    std::uint64_t busyOver(const std::vector<std::uint64_t> &busy,
-                           FuClass fu, int t, int occ) const;
+    std::uint64_t busyOver(const std::vector<std::uint64_t> &busy, int cls,
+                           int t, int occ) const;
 
     const Machine *m_ = nullptr;
     int ii_ = 0;
@@ -120,8 +120,8 @@ class Mrt
     std::vector<NodeId> occupant_;
     /** Busy units per (class, row); bit u set = unit u occupied. */
     std::vector<std::uint64_t> busy_;
-    /** Flattened occupant offsets per class. */
-    int classBase_[numFuClasses + 1] = {0};
+    /** Flattened occupant offsets per class (numClasses + 1 entries). */
+    std::vector<int> classBase_;
     /** Scratch copy of busy_ for the group self-competition check. */
     mutable std::vector<std::uint64_t> groupScratch_;
     /** Unit indices while a group placement is in flight. */

@@ -120,9 +120,9 @@ validateSchedule(const Ddg &g, const Machine &m, const Schedule &s,
     std::map<std::tuple<int, int, int>, NodeId> slots;
     for (NodeId n = 0; n < g.numNodes(); ++n) {
         const Opcode op = g.node(n).op;
-        const FuClass fu = fuClassOf(op);
+        const int cls = m.classOf(op);
         const int u = s.unit(n);
-        if (u < 0 || u >= m.unitsFor(fu)) {
+        if (u < 0 || u >= m.unitsInClass(cls)) {
             return fail(strprintf("node %s has bad unit %d",
                                   g.node(n).name.c_str(), u));
         }
@@ -132,16 +132,14 @@ validateSchedule(const Ddg &g, const Machine &m, const Schedule &s,
                 "node %s occupies its unit %d cycles > II=%d",
                 g.node(n).name.c_str(), occ, ii));
         }
-        // Universal machines share one pool of units across classes.
-        const int fuKey = m.isUniversal() ? 0 : int(fu);
         for (int c = 0; c < occ; ++c) {
             const int row = Schedule::floorMod(s.time(n) + c, ii);
-            const auto key = std::make_tuple(fuKey, u, row);
+            const auto key = std::make_tuple(cls, u, row);
             const auto [it, inserted] = slots.emplace(key, n);
             if (!inserted) {
                 return fail(strprintf(
                     "resource conflict on %s unit %d row %d: %s vs %s",
-                    fuClassName(fu), u, row,
+                    m.className(cls).c_str(), u, row,
                     g.node(it->second).name.c_str(),
                     g.node(n).name.c_str()));
             }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ir/ddg.hh"
+#include "sched/groups.hh"
 #include "sched/mii.hh"
 #include "sched/mrt.hh"
 #include "sched/sched_util.hh"
@@ -64,6 +65,8 @@ struct SchedWorkspace
     /// @{
     Mrt mrt;
     NodePriorities prio;
+    /** Complex-group partition, rebuilt per probe on recycled storage. */
+    GroupSet groups;
     /** Anchor-relative group ASAP / height. */
     std::vector<long> gAsap, gHeight;
     /** Cyclic-SCC decomposition, reused across same-loop II probes. */
@@ -73,6 +76,9 @@ struct SchedWorkspace
     /** @name HRMS condensed group graph */
     /// @{
     ScratchAdj succ, pred, succ0, pred0;
+    /** Bit-row mirrors of pred / succ / pred0, so the absorb loops test
+        readiness word-parallel instead of scanning adjacency lists. */
+    BitMatrix predMask, succMask, pred0Mask;
     /** Group-pair dedup while building the adjacency (all distances /
         zero-distance only). */
     BitMatrix edgeSeen, edgeSeen0;
@@ -85,7 +91,8 @@ struct SchedWorkspace
     /// @{
     std::vector<int> order;
     BitRow orderedMask, setMask;
-    std::vector<char> doneFlag, inSetFlag;
+    /** Absorb-set members not yet appended to the order. */
+    BitRow remainMask;
     /// @}
 
     /** @name IMS placement loop */

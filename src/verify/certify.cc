@@ -265,39 +265,24 @@ certifyRecurrences(const Ddg &g, const Machine &m)
               cert.bound, " in '", g.name(), "'");
 }
 
-/** Tallies in canonical order: universal pool, or ascending class. */
+/** Tallies of the machine's described classes, ascending class index. */
 std::vector<ResourceTally>
 recountTallies(const Ddg &g, const Machine &m)
 {
     std::vector<ResourceTally> tallies;
-    if (m.isUniversal()) {
-        ResourceTally t;
-        t.fuClass = -1;
-        t.units = m.unitsFor(FuClass::Mem);
-        for (NodeId v = 0; v < g.numNodes(); ++v) {
-            ++t.ops;
-            t.occupancy += m.occupancy(g.node(v).op);
-        }
-        if (t.ops > 0) {
-            SWP_ASSERT(t.units >= 1, "universal machine without units");
-            t.bound = int(ceilDiv(t.occupancy, t.units));
-            tallies.push_back(t);
-        }
-        return tallies;
-    }
-    for (int c = 0; c < numFuClasses; ++c) {
+    for (int c = 0; c < m.numClasses(); ++c) {
         ResourceTally t;
         t.fuClass = c;
-        t.units = m.unitsFor(FuClass(c));
+        t.units = m.unitsInClass(c);
         for (NodeId v = 0; v < g.numNodes(); ++v) {
-            if (int(fuClassOf(g.node(v).op)) != c)
+            if (m.classOf(g.node(v).op) != c)
                 continue;
             ++t.ops;
             t.occupancy += m.occupancy(g.node(v).op);
         }
         if (t.ops == 0)
             continue;
-        SWP_ASSERT(t.units >= 1, "ops of class ", fuClassName(FuClass(c)),
+        SWP_ASSERT(t.units >= 1, "ops of class ", m.className(c),
                    " on a machine with no such unit in '", g.name(), "'");
         t.bound = int(ceilDiv(t.occupancy, t.units));
         tallies.push_back(t);
@@ -453,7 +438,7 @@ checkResourceCertificate(const Ddg &g, const Machine &m,
             got.units != want.units || got.bound != want.bound) {
             const char *name = want.fuClass < 0
                                    ? "universal"
-                                   : fuClassName(FuClass(want.fuClass));
+                                   : m.className(want.fuClass).c_str();
             addDiag(report, CertKind::Resource,
                     strprintf("class %s tally mismatch: certificate "
                               "has ops %d occ %ld units %d bound %d, "

@@ -79,7 +79,7 @@ struct CycleCertificate
 /** One unit class's pigeonhole tally. */
 struct ResourceTally
 {
-    int fuClass = -1;   ///< int(FuClass); -1 = universal unit pool.
+    int fuClass = -1;   ///< Machine class index (Machine::classOf).
     int ops = 0;        ///< Operations executing on this class.
     long occupancy = 0; ///< Sum of per-op unit occupancy.
     int units = 0;      ///< Machine instances of the class.

@@ -239,22 +239,19 @@ verifySchedule(const Ddg &g, const Machine &m, const Schedule &s)
     // Layer 2: resource legality. Rebuild a naive occupancy table from
     // the op -> unit assignments: one occupant per (class, unit,
     // cycle mod II) slot, counting every row a non-pipelined op blocks.
-    // Universal machines pool all units in one class.
-    const int classes = m.isUniversal() ? 1 : numFuClasses;
+    // The machine's described classes size the table directly (a
+    // universal machine is simply a single class).
+    const int classes = m.numClasses();
     std::vector<std::vector<NodeId>> table;
     table.resize(std::size_t(classes));
     for (int c = 0; c < classes; ++c) {
-        const int units =
-            m.isUniversal() ? m.unitsFor(FuClass::Mem)
-                            : m.unitsFor(FuClass(c));
         table[std::size_t(c)].assign(
-            std::size_t(units) * std::size_t(ii), invalidNode);
+            std::size_t(m.unitsInClass(c)) * std::size_t(ii), invalidNode);
     }
     for (NodeId n = 0; n < g.numNodes(); ++n) {
         const Opcode op = g.node(n).op;
-        const FuClass fu = fuClassOf(op);
-        const int cls = m.isUniversal() ? 0 : int(fu);
-        const int units = m.unitsFor(fu);
+        const int cls = m.classOf(op);
+        const int units = m.unitsInClass(cls);
         const int u = s.unit(n);
         if (u < 0 || u >= units) {
             addViolation(
@@ -262,7 +259,7 @@ verifySchedule(const Ddg &g, const Machine &m, const Schedule &s)
                 strprintf("node %s (n%d) assigned unit %d outside the "
                           "%d %s units",
                           g.node(n).name.c_str(), n, u, units,
-                          fuClassName(fu)));
+                          m.className(cls).c_str()));
             continue;
         }
         const int occ = m.occupancy(op);
@@ -271,7 +268,7 @@ verifySchedule(const Ddg &g, const Machine &m, const Schedule &s)
                 report, ViolationKind::Resource, n, -1,
                 strprintf("node %s (n%d) occupies a %s unit for %d "
                           "cycles > II=%d",
-                          g.node(n).name.c_str(), n, fuClassName(fu),
+                          g.node(n).name.c_str(), n, m.className(cls).c_str(),
                           occ, ii));
             continue;
         }
@@ -284,7 +281,7 @@ verifySchedule(const Ddg &g, const Machine &m, const Schedule &s)
                     report, ViolationKind::Resource, n, -1,
                     strprintf("slot (%s, unit %d, row %d) claimed by "
                               "both %s (n%d) and %s (n%d)",
-                              fuClassName(fu), u, row,
+                              m.className(cls).c_str(), u, row,
                               g.node(slot).name.c_str(), slot,
                               g.node(n).name.c_str(), n));
             } else {

@@ -148,7 +148,7 @@ TEST(Certify, SpilledResultsCertifyAgainstTransformedGraph)
 TEST(Certify, UniversalMachineUsesOnePool)
 {
     // Universal machines seat every op on one unit pool: the resource
-    // certificate collapses to a single fuClass == -1 tally.
+    // certificate collapses to one tally for the single described class.
     const SuiteParams params;
     const Machine m = Machine::universal("u4", 4, 2);
     for (int i = 0; i < 20; ++i) {
@@ -157,7 +157,8 @@ TEST(Certify, UniversalMachineUsesOnePool)
         const Certificate cert =
             certifyAndExpectClean(m, r, "loop " + std::to_string(i));
         ASSERT_EQ(cert.resource.tallies.size(), 1u);
-        EXPECT_EQ(cert.resource.tallies[0].fuClass, -1);
+        EXPECT_EQ(cert.resource.tallies[0].fuClass, 0);
+        EXPECT_EQ(cert.resource.tallies[0].units, 4);
     }
 }
 

@@ -74,6 +74,34 @@ TEST(Machine, Overrides)
     EXPECT_EQ(m.occupancy(Opcode::Mul), 4);
 }
 
+TEST(Machine, DynamicClassTables)
+{
+    const Machine m = Machine::p2l4();
+    ASSERT_EQ(m.numClasses(), 4);
+    EXPECT_EQ(m.className(0), "mem");
+    EXPECT_EQ(m.className(3), "divsqrt");
+    EXPECT_EQ(m.classOf(Opcode::Load), 0);
+    EXPECT_EQ(m.classOf(Opcode::Store), 0);
+    EXPECT_EQ(m.classOf(Opcode::Mul), 2);
+    EXPECT_EQ(m.classOf(Opcode::Div), 3);
+    EXPECT_EQ(m.unitsInClass(0), 2);
+    EXPECT_FALSE(m.pipelinedClass(3));
+
+    const Machine u = Machine::universal("u", 4, 2);
+    ASSERT_EQ(u.numClasses(), 1);
+    for (int op = 0; op < numOpcodes; ++op)
+        EXPECT_EQ(u.classOf(Opcode(op)), 0);
+}
+
+TEST(Machine, EqualityComparesContent)
+{
+    EXPECT_TRUE(Machine::p2l4() == Machine::p2l4());
+    EXPECT_TRUE(Machine::p2l4() != Machine::p2l6());
+    Machine m = Machine::p2l4();
+    m.setLatency(Opcode::Add, 5);
+    EXPECT_TRUE(m != Machine::p2l4());
+}
+
 TEST(Machine, DescribeMentionsName)
 {
     EXPECT_NE(Machine::p2l6().describe().find("P2L6"), std::string::npos);
