@@ -47,19 +47,19 @@ run(const std::vector<SuiteLoop> &suite, const Machine &m,
     proto.options.fuseSpillOps = fuse;
     proto.options.maxSpillRounds = 48;  // Bound the divergent cases.
 
-    const auto results = suiteRunner().run(
+    const auto results = benchEvaluate(
         suite, m, protoJobs(suite.size(), proto), benchRunOptions());
 
     // Sharded runs tally only their own loops' cells.
     Cell cell;
     for (std::size_t i = 0; i < suite.size(); ++i) {
-        if (!ownsJob(i))
+        if (!results[i].evaluated)
             continue;
-        const PipelineResult &r = results[i];
+        const JobSummary &r = results[i];
         cell.converged += r.success && !r.usedFallback;
-        cell.cycles += double(r.ii()) * double(suite[i].iterations);
+        cell.cycles += double(r.ii) * double(suite[i].iterations);
         cell.rounds += r.rounds;
-        cell.spills += r.spilledLifetimes;
+        cell.spills += r.spills;
     }
     return cell;
 }

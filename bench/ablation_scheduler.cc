@@ -122,19 +122,19 @@ runAblation(benchmark::State &state)
                 proto.options.scheduler = kind;
                 proto.options.multiSelect = true;
                 proto.options.reuseLastIi = true;
-                const auto results =
-                    runner.run(suite, m, protoJobs(suite.size(), proto),
-                               benchRunOptions());
+                const auto results = benchEvaluate(
+                    suite, m, protoJobs(suite.size(), proto),
+                    benchRunOptions());
 
                 double cycles = 0;
                 long spills = 0;
                 int unfit = 0;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
-                    if (!ownsJob(i))
+                    if (!results[i].evaluated)
                         continue;
-                    const PipelineResult &r = results[i];
-                    cycles += double(r.ii()) * double(suite[i].iterations);
-                    spills += r.spilledLifetimes;
+                    const JobSummary &r = results[i];
+                    cycles += double(r.ii) * double(suite[i].iterations);
+                    spills += r.spills;
                     unfit += !r.success;
                 }
                 end.row()

@@ -65,7 +65,7 @@ runAblation(benchmark::State &state)
                     proto.options.multiSelect = true;
                     proto.options.reuseLastIi = true;
                     proto.options.spillUses = uses;
-                    const auto results = suiteRunner().run(
+                    const auto results = benchEvaluate(
                         suite, m, protoJobs(suite.size(), proto),
                         benchRunOptions());
 
@@ -73,14 +73,14 @@ runAblation(benchmark::State &state)
                     long spills = 0;
                     int unfit = 0;
                     for (std::size_t i = 0; i < suite.size(); ++i) {
-                        if (!ownsJob(i))
+                        if (!results[i].evaluated)
                             continue;
-                        const PipelineResult &r = results[i];
+                        const JobSummary &r = results[i];
                         cycles +=
-                            double(r.ii()) * double(suite[i].iterations);
-                        refs += double(r.memOpsPerIteration()) *
+                            double(r.ii) * double(suite[i].iterations);
+                        refs += double(r.memOps) *
                                 double(suite[i].iterations);
-                        spills += r.spilledLifetimes;
+                        spills += r.spills;
                         unfit += !r.success;
                     }
                     table.row()

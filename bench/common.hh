@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/orchestrate.hh"
 #include "driver/suite_runner.hh"
 #include "machine/machine.hh"
 #include "pipeliner/pipeliner.hh"
@@ -83,6 +84,21 @@ namespace swp::benchutil
  *                    file (machine/machdesc format). Grids that sweep
  *                    the Section 5 configurations collapse to the one
  *                    specified machine.
+ *   --orchestrate <n>  run the harness's pipeline-evaluation grids as
+ *                    n shard worker processes of this binary (the
+ *                    orchestrator in src/driver/orchestrate, with
+ *                    timeout/retry/resume), then replay the tables from
+ *                    the merged per-job records — the written tables
+ *                    match the serial run (wall-clock columns aside).
+ *                    Grids that consume full schedules (lifetime
+ *                    analyses, kernel validation, micro-timing) still
+ *                    evaluate in-process.
+ *   --orch-dir/--orch-timeout/--orch-retries/--orch-backoff/
+ *   --no-resume/--inject-fail   as in swpipe_cli --orchestrate.
+ *   --orch-record <path>  (worker-internal; appended by the
+ *                    orchestrator) record every evaluated job into a
+ *                    swp-shard-v1 file at <path> instead of expecting
+ *                    to be a standalone run.
  */
 struct BenchOptions
 {
@@ -102,6 +118,22 @@ struct BenchOptions
     /** google-benchmark's own JSON reporter writes jsonPath itself
         (adaptive micro-benchmarks) instead of the table recorder. */
     bool nativeJson = false;
+
+    /** --orchestrate n: run the grids as n shard worker processes. */
+    int orchestrate = 0;
+    std::string orchDir;
+    int orchTimeout = 600;
+    int orchRetries = 2;
+    int orchBackoffMs = 100;
+    bool orchResume = true;
+    std::vector<FaultInjection> inject;
+
+    /** --orch-record: write evaluated jobs to this shard file (worker
+        mode; appended to workers by the orchestrator). */
+    std::string orchRecordPath;
+
+    /** Harness name (set by initBenchArgs; labels shard files). */
+    std::string benchName;
 };
 
 /** The process-wide options (mutated once by initBenchArgs). */
@@ -111,8 +143,47 @@ BenchOptions &benchOptions();
  * Strip the swp flags from argv. Call before benchmark::Initialize;
  * with nativeJson, --json is forwarded as google-benchmark's
  * --benchmark_out so the adaptive timing results land in the file.
+ * Under --orchestrate this is also where the worker fleet runs: the
+ * call returns with the merged per-job record store loaded, and every
+ * subsequent benchEvaluate() replays from it instead of evaluating.
  */
-void initBenchArgs(int *argc, char ***argv, bool nativeJson = false);
+void initBenchArgs(int *argc, char ***argv, const std::string &benchName,
+                   bool nativeJson = false);
+
+/**
+ * Scalar outcome of one grid job — everything the converted bench
+ * tables are computed from, reproducible from a shard fleet's records.
+ */
+struct JobSummary
+{
+    /** False for jobs outside this process's shard (slot untouched). */
+    bool evaluated = false;
+    bool success = false;
+    bool usedFallback = false;
+    int ii = 0;       ///< Achieved initiation interval.
+    int regs = 0;     ///< Registers required by the allocation.
+    int spills = 0;   ///< Spilled lifetimes.
+    int rounds = 0;   ///< Spill rounds taken.
+    int attempts = 0; ///< Scheduling attempts.
+    int memOps = 0;   ///< Memory operations per iteration.
+};
+
+/**
+ * Evaluate a job grid and summarize each owned job. Normally runs the
+ * grid on suiteRunner(); under --orch-record it additionally records
+ * every evaluated job keyed by (machine, graph, options); under
+ * --orchestrate it replays the summaries from the merged fleet records
+ * without evaluating (a missing key is fatal — the fleet and this
+ * process must run the same grids). Jobs are pure functions of their
+ * key, so replayed summaries equal evaluated ones exactly.
+ */
+std::vector<JobSummary> benchEvaluate(const std::vector<SuiteLoop> &suite,
+                                      const Machine &m,
+                                      const std::vector<BatchJob> &jobs,
+                                      const RunOptions &opts);
+
+/** Write the --orch-record shard file (no-op outside worker mode). */
+void writeOrchRecord();
 
 /** Queue a finished table for --json emission. */
 void recordTable(const std::string &name, const Table &table);
@@ -212,13 +283,15 @@ const std::vector<SuiteLoop> &evaluationSuite();
 #define SWP_BENCH_MAIN_IMPL(benchName, nativeJson)                      \
     int main(int argc, char **argv)                                     \
     {                                                                   \
-        swp::benchutil::initBenchArgs(&argc, &argv, nativeJson);        \
+        swp::benchutil::initBenchArgs(&argc, &argv, benchName,          \
+                                      nativeJson);                      \
         ::benchmark::Initialize(&argc, argv);                           \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))       \
             return 1;                                                   \
         ::benchmark::RunSpecifiedBenchmarks();                          \
         ::benchmark::Shutdown();                                        \
         swp::benchutil::writeBenchJson(benchName);                      \
+        swp::benchutil::writeOrchRecord();                              \
         return 0;                                                       \
     }
 

@@ -27,7 +27,6 @@ void
 runFig9(benchmark::State &state)
 {
     const auto &suite = evaluationSuite();
-    SuiteRunner &runner = suiteRunner();
 
     for (auto _ : state) {
         Table table({"config", "regs", "subset", "increase-II(1e9)",
@@ -43,16 +42,16 @@ runFig9(benchmark::State &state)
                     incrJobs.push_back(variantJob(
                         int(i), Variant::IncreaseIi, registers));
                 const auto incr =
-                    runner.run(suite, m, incrJobs, benchRunOptions());
+                    benchEvaluate(suite, m, incrJobs, benchRunOptions());
 
                 // A sharded run draws its candidates from the loops it
                 // owns; the later stages' grids are already
                 // shard-filtered through them (chunk policy only).
                 std::vector<int> candidates;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
-                    if (!ownsJob(i))
+                    if (!incr[i].evaluated)
                         continue;
-                    const PipelineResult &r = incr[i];
+                    const JobSummary &r = incr[i];
                     if (!r.usedFallback && r.success && r.rounds > 1)
                         candidates.push_back(int(i));
                 }
@@ -63,7 +62,8 @@ runFig9(benchmark::State &state)
                     spillJobs.push_back(variantJob(
                         i, Variant::MaxLtTrafMultiLastIi, registers));
                 const auto spills =
-                    runner.run(suite, m, spillJobs, benchChunkOptions());
+                    benchEvaluate(suite, m, spillJobs,
+                                  benchChunkOptions());
 
                 // Stage 3: best-of-all where spilling also converged.
                 std::vector<int> members;
@@ -76,24 +76,25 @@ runFig9(benchmark::State &state)
                         candidates[k], Variant::BestOfAll, registers));
                 }
                 const auto bests =
-                    runner.run(suite, m, bestJobs, benchChunkOptions());
+                    benchEvaluate(suite, m, bestJobs,
+                                  benchChunkOptions());
 
                 double cyclesIi = 0, cyclesSpill = 0, cyclesBest = 0;
                 int subset = 0, spillWins = 0, iiWins = 0;
                 for (std::size_t j = 0; j < members.size(); ++j) {
                     const int k = members[j];
                     const int loopIdx = candidates[std::size_t(k)];
-                    const PipelineResult &ri = incr[std::size_t(loopIdx)];
-                    const PipelineResult &rs = spills[std::size_t(k)];
-                    const PipelineResult &rb = bests[j];
+                    const JobSummary &ri = incr[std::size_t(loopIdx)];
+                    const JobSummary &rs = spills[std::size_t(k)];
+                    const JobSummary &rb = bests[j];
                     ++subset;
                     const double w =
                         double(suite[std::size_t(loopIdx)].iterations);
-                    cyclesIi += double(ri.ii()) * w;
-                    cyclesSpill += double(rs.ii()) * w;
-                    cyclesBest += double(rb.ii()) * w;
-                    spillWins += rs.ii() < ri.ii();
-                    iiWins += ri.ii() < rs.ii();
+                    cyclesIi += double(ri.ii) * w;
+                    cyclesSpill += double(rs.ii) * w;
+                    cyclesBest += double(rb.ii) * w;
+                    spillWins += rs.ii < ri.ii;
+                    iiWins += ri.ii < rs.ii;
                 }
                 table.row()
                     .add(m.name())

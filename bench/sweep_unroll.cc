@@ -46,25 +46,25 @@ sweepLoop(const Ddg &g, const Machine &m, int registers, Table &table)
     proto.options.reuseLastIi = true;
     // The unroll factors are this sweep's grid: a sharded run
     // evaluates and prints only the factors it owns.
-    const auto results = suiteRunner().run(
+    const auto results = benchEvaluate(
         unrolled, m, protoJobs(unrolled.size(), proto),
         benchRunOptions());
 
     for (std::size_t i = 0; i < unrolled.size(); ++i) {
-        if (!ownsJob(i))
+        if (!results[i].evaluated)
             continue;
         const int factor = factors[i];
-        const PipelineResult &r = results[i];
+        const JobSummary &r = results[i];
         table.row()
             .add(g.name())
             .add(factor)
             .add(mii(unrolled[i].graph, m))
             .add(r.success ? (r.usedFallback ? "fallback" : "yes")
                            : "NO")
-            .add(r.ii())
-            .add(double(r.ii()) / factor, 2)
-            .add(r.alloc.regsRequired)
-            .add(r.spilledLifetimes);
+            .add(r.ii)
+            .add(double(r.ii) / factor, 2)
+            .add(r.regs)
+            .add(r.spills);
     }
 }
 
@@ -104,7 +104,7 @@ runSweep(benchmark::State &state)
             proto.options.registers = 32;
             proto.options.multiSelect = true;
             proto.options.reuseLastIi = true;
-            const auto results = benchutil::suiteRunner().run(
+            const auto results = benchEvaluate(
                 unrolled, m, benchutil::protoJobs(subset, proto),
                 benchutil::benchRunOptions());
 
@@ -112,11 +112,11 @@ runSweep(benchmark::State &state)
             long spills = 0;
             int unfit = 0;
             for (std::size_t i = 0; i < subset; ++i) {
-                if (!benchutil::ownsJob(i))
+                if (!results[i].evaluated)
                     continue;
-                const PipelineResult &r = results[i];
-                perIter += double(r.ii()) / factor;
-                spills += r.spilledLifetimes;
+                const JobSummary &r = results[i];
+                perIter += double(r.ii) / factor;
+                spills += r.spills;
                 unfit += !r.success;
             }
             agg.row()

@@ -28,7 +28,6 @@ void
 runTable1(benchmark::State &state)
 {
     const auto &suite = evaluationSuite();
-    SuiteRunner &runner = suiteRunner();
 
     for (auto _ : state) {
         Table table({"config", "registers", "never-converge",
@@ -43,7 +42,7 @@ runTable1(benchmark::State &state)
                 idealJobs.push_back(
                     variantJob(int(i), Variant::Ideal, 0));
             const auto ideal =
-                runner.run(suite, m, idealJobs, benchRunOptions());
+                benchEvaluate(suite, m, idealJobs, benchRunOptions());
 
             // Sharded runs normalize by their own jobs' cycles: the %
             // columns are per-shard views of per-shard counts.
@@ -51,9 +50,9 @@ runTable1(benchmark::State &state)
             double totalCycles = 0;
             std::size_t ownedLoops = 0;
             for (std::size_t i = 0; i < suite.size(); ++i) {
-                if (!ownsJob(i))
+                if (!ideal[i].evaluated)
                     continue;
-                const double c = double(ideal[i].ii()) *
+                const double c = double(ideal[i].ii) *
                                  double(suite[i].iterations);
                 idealCycles[i] = c;
                 totalCycles += c;
@@ -66,12 +65,12 @@ runTable1(benchmark::State &state)
                     jobs.push_back(variantJob(
                         int(i), Variant::IncreaseIi, registers));
                 const auto results =
-                    runner.run(suite, m, jobs, benchRunOptions());
+                    benchEvaluate(suite, m, jobs, benchRunOptions());
 
                 int diverged = 0;
                 double divergedCycles = 0;
                 for (std::size_t i = 0; i < suite.size(); ++i) {
-                    if (!ownsJob(i))
+                    if (!results[i].evaluated)
                         continue;
                     if (results[i].usedFallback) {
                         ++diverged;

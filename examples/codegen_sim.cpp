@@ -16,14 +16,26 @@
 #include "ir/builder.hh"
 #include "pipeliner/pipeliner.hh"
 #include "sim/vliw.hh"
+#include "support/strutil.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace swp;
 
-    const int registers = argc > 1 ? std::atoi(argv[1]) : 12;
-    const long iterations = argc > 2 ? std::atol(argv[2]) : 50;
+    int registers = 12;
+    if (argc > 1 && !parseIntInRange(argv[1], 1, 1 << 20, registers)) {
+        std::cerr << "codegen_sim: bad register budget '" << argv[1]
+                  << "' (want a positive integer)\n";
+        return 2;
+    }
+    long long iterations = 50;
+    if (argc > 2 &&
+        !parseInt64InRange(argv[2], 1, 1000000000000LL, iterations)) {
+        std::cerr << "codegen_sim: bad iteration count '" << argv[2]
+                  << "' (want a positive integer)\n";
+        return 2;
+    }
 
     // A 1D stencil with reuse across iterations:
     //   t(i) = (x(i) + x(i-1)) * w     -- w loop invariant
@@ -64,7 +76,7 @@ main(int argc, char **argv)
 
     // Cycle-accurate execution.
     SimConfig cfg;
-    cfg.iterations = iterations;
+    cfg.iterations = long(iterations);
     const SimResult sim = simulatePipelined(r.graph(), m, r.sched,
                                             r.alloc.rotAlloc, cfg);
     if (!sim.ok) {
@@ -78,7 +90,7 @@ main(int argc, char **argv)
 
     std::string why;
     if (!equivalentToSequential(g, r.graph(), m, r.sched, r.alloc.rotAlloc,
-                                iterations, &why)) {
+                                long(iterations), &why)) {
         std::cout << "MISMATCH vs sequential reference: " << why << "\n";
         return 1;
     }

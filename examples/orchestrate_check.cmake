@@ -1,0 +1,88 @@
+# CTest script: prove the orchestrator end to end, including the
+# acceptance property — `swpipe_cli --suite 120 --orchestrate 4` stdout
+# is byte-identical to the 1-process run, also when a worker is killed
+# via the fault hook and retried. Also checks resume (a second run
+# reuses every published shard file), retry exhaustion (nonzero exit
+# naming the failed shard), and the hardened --merge-shards rejections
+# (duplicate file, mismatched machine).
+#
+# Invoked as:
+#   cmake -DCLI=<swpipe_cli> -DWORK=<scratch dir> -P orchestrate_check.cmake
+
+if(NOT CLI OR NOT WORK)
+    message(FATAL_ERROR "usage: cmake -DCLI=... -DWORK=... -P orchestrate_check.cmake")
+endif()
+
+set(args --suite 120)
+
+function(run_cli outvar errvar expect_rc)
+    execute_process(COMMAND ${CLI} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${expect_rc})
+        message(FATAL_ERROR "swpipe_cli ${ARGN} exited ${rc} (wanted ${expect_rc}): ${err}")
+    endif()
+    set(${outvar} "${out}" PARENT_SCOPE)
+    set(${errvar} "${err}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE ${WORK}/orch_a ${WORK}/orch_b ${WORK}/orch_c)
+
+run_cli(baseline ignored 0 ${args})
+
+# Acceptance: 4 orchestrated shard workers, stdout byte-identical.
+run_cli(orch orcherr 0 ${args} --orchestrate 4 --orch-dir ${WORK}/orch_a)
+if(NOT orch STREQUAL baseline)
+    message(FATAL_ERROR "orchestrated output differs from the serial run")
+endif()
+
+# Resume: the second run over the same directory launches nothing.
+run_cli(orch2 orch2err 0 ${args} --orchestrate 4 --orch-dir ${WORK}/orch_a)
+if(NOT orch2 STREQUAL baseline)
+    message(FATAL_ERROR "resumed orchestrated output differs from the serial run")
+endif()
+if(NOT orch2err MATCHES "4 shards complete \\(0 launched, 4 reused")
+    message(FATAL_ERROR "resume did not reuse the published shard files: ${orch2err}")
+endif()
+
+# Acceptance under failure: worker 2's first attempt is killed by the
+# fault hook; the retry must still produce byte-identical output.
+run_cli(faulted faultederr 0 ${args} --orchestrate 4
+    --orch-dir ${WORK}/orch_b --orch-backoff 10 --inject-fail 2:1:crash)
+if(NOT faulted STREQUAL baseline)
+    message(FATAL_ERROR "output after an injected worker crash differs from the serial run")
+endif()
+if(NOT faultederr MATCHES "1 retried")
+    message(FATAL_ERROR "injected crash was not retried: ${faultederr}")
+endif()
+
+# Retry exhaustion: every attempt of shard 0 crashes; the orchestrator
+# must exit nonzero naming the shard that failed.
+run_cli(ignored exhausterr 2 ${args} --orchestrate 2
+    --orch-dir ${WORK}/orch_c --orch-retries 1 --orch-backoff 10
+    --inject-fail "0:1:crash,0:2:crash")
+if(NOT exhausterr MATCHES "shard 0/2 failed after 2 attempts")
+    message(FATAL_ERROR "exhausted retries did not name the failed shard: ${exhausterr}")
+endif()
+
+# Hardened merge: the same shard file twice is a duplicate, not a merge.
+run_cli(ignored duperr 2 --merge-shards
+    ${WORK}/orch_a/shard-0.json ${WORK}/orch_a/shard-0.json)
+if(NOT duperr MATCHES "twice")
+    message(FATAL_ERROR "duplicate shard file was not refused: ${duperr}")
+endif()
+
+# Hardened merge: shards produced under different --machine configs
+# must be refused with a configuration diagnostic.
+run_cli(ignored m0err 0 --suite 6 --machine p2l4
+    --shard 0/2 --shard-out ${WORK}/swp_mm_0.json)
+run_cli(ignored m1err 0 --suite 6 --machine p1l4
+    --shard 1/2 --shard-out ${WORK}/swp_mm_1.json)
+run_cli(ignored mmerr 2 --merge-shards
+    ${WORK}/swp_mm_0.json ${WORK}/swp_mm_1.json)
+if(NOT mmerr MATCHES "configuration")
+    message(FATAL_ERROR "mismatched-machine shards were not refused: ${mmerr}")
+endif()
+
+message(STATUS "orchestrated runs are byte-identical to the serial run")

@@ -18,13 +18,19 @@
 #include "pipeliner/pipeliner.hh"
 #include "sched/mii.hh"
 #include "sim/vliw.hh"
+#include "support/strutil.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace swp;
 
-    const int registers = argc > 1 ? std::atoi(argv[1]) : 8;
+    int registers = 8;
+    if (argc > 1 && !parseIntInRange(argv[1], 1, 1 << 20, registers)) {
+        std::cerr << "quickstart: bad register budget '" << argv[1]
+                  << "' (want a positive integer)\n";
+        return 2;
+    }
 
     // 1. Describe the loop as a dependence graph.
     DdgBuilder b("dotacc");

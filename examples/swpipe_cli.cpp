@@ -73,8 +73,32 @@
  *   --merge-shards F1 F2 ...      recombine a complete set of shard
  *                                 files; stdout and the exit code are
  *                                 byte-identical to the unsharded run.
- *                                 Refuses overlapping, missing, or
- *                                 mismatched (config/seed) shards.
+ *                                 Refuses duplicate, overlapping,
+ *                                 missing, or mismatched (config/seed/
+ *                                 machine) shards.
+ *   --orchestrate N               run the grid as N shard worker
+ *                                 processes of this binary (fork/exec),
+ *                                 monitor them with a per-shard timeout
+ *                                 and bounded retry/backoff, re-run only
+ *                                 failed/missing/invalid shards, reuse
+ *                                 valid pre-existing shard files of the
+ *                                 same configuration (resume), and merge:
+ *                                 stdout and the exit code are
+ *                                 byte-identical to the 1-process run.
+ *   --orch-dir DIR                shard file/log directory for
+ *                                 --orchestrate (default swp_orch)
+ *   --orch-timeout S              per-attempt worker timeout in seconds
+ *                                 (default 600; 0 disables)
+ *   --orch-retries K              relaunches after a shard's first
+ *                                 failed attempt (default 2)
+ *   --orch-backoff MS             initial retry backoff in milliseconds,
+ *                                 doubling per attempt (default 100)
+ *   --no-resume                   recompute every shard even when a
+ *                                 valid shard file already exists
+ *   --inject-fail S:A:M[,...]     deterministically fault attempt A
+ *                                 (1-based) of shard S with mode M
+ *                                 (crash|hang|corrupt) — exercises the
+ *                                 retry machinery in tests and drills
  */
 
 #include <cstdint>
@@ -86,6 +110,7 @@
 #include <vector>
 
 #include "codegen/kernel.hh"
+#include "driver/orchestrate.hh"
 #include "driver/shard_merge.hh"
 #include "driver/suite_runner.hh"
 #include "ir/builder.hh"
@@ -129,6 +154,17 @@ struct CliOptions
     std::string shardOut;
     bool mergeMode = false;
     std::vector<std::string> mergeFiles;
+    /** --orchestrate N: run the grid as N shard worker processes. */
+    int orchestrate = 0;
+    std::string orchDir = "swp_orch";
+    int orchTimeout = 600;
+    int orchRetries = 2;
+    int orchBackoffMs = 100;
+    bool orchResume = true;
+    std::vector<FaultInjection> inject;
+    /** Every argument except the orchestration flags, verbatim — what
+        each shard worker is launched with (plus --shard/--shard-out). */
+    std::vector<std::string> workerArgs;
     /** Suite provenance for shard-file metadata. */
     std::uint64_t suiteSeed = kDefaultSuiteSeed;
     int suiteCount = 0;
@@ -160,17 +196,21 @@ parseArgs(int argc, char **argv)
     SuiteParams suiteParams;
     int suiteCount = 0;
     bool seedSet = false;
+    bool orchKnobSeen = false;
     std::vector<std::string> positional;
 
     for (int i = 1; i < argc; ++i) {
+        const int argStart = i;
+        bool orchOnly = false;
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--machine")) {
             opts.machine = machineFromSpec(nextArg(argc, argv, i, arg));
         } else if (!std::strcmp(arg, "--registers")) {
-            opts.pipeline.registers =
-                std::atoi(nextArg(argc, argv, i, arg));
-            if (opts.pipeline.registers < 1)
-                usageError("registers must be positive");
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 1, 1 << 20,
+                                 opts.pipeline.registers))
+                usageError(std::string("bad --registers count ") + text +
+                           " (want a positive integer)");
         } else if (!std::strcmp(arg, "--strategy")) {
             const char *name = nextArg(argc, argv, i, arg);
             if (!std::strcmp(name, "ideal"))
@@ -211,7 +251,12 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(arg, "--mve")) {
             opts.mve = true;
         } else if (!std::strcmp(arg, "--simulate")) {
-            opts.simulate = std::atol(nextArg(argc, argv, i, arg));
+            const char *text = nextArg(argc, argv, i, arg);
+            long long iterations = 0;
+            if (!parseInt64InRange(text, 1, 1000000000000LL, iterations))
+                usageError(std::string("bad --simulate count ") + text +
+                           " (want a positive iteration count)");
+            opts.simulate = long(iterations);
         } else if (!std::strcmp(arg, "--verify")) {
             opts.verify = true;
         } else if (!std::strcmp(arg, "--certify")) {
@@ -263,6 +308,49 @@ parseArgs(int argc, char **argv)
             opts.shardOut = nextArg(argc, argv, i, arg);
         } else if (!std::strcmp(arg, "--merge-shards")) {
             opts.mergeMode = true;
+        } else if (!std::strcmp(arg, "--orchestrate")) {
+            orchOnly = true;
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 1, 4096, opts.orchestrate))
+                usageError(std::string("bad --orchestrate count ") + text);
+        } else if (!std::strcmp(arg, "--orch-dir")) {
+            orchOnly = true;
+            orchKnobSeen = true;
+            opts.orchDir = nextArg(argc, argv, i, arg);
+            if (opts.orchDir.empty())
+                usageError("--orch-dir needs a directory");
+        } else if (!std::strcmp(arg, "--orch-timeout")) {
+            orchOnly = true;
+            orchKnobSeen = true;
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 0, 1000000, opts.orchTimeout))
+                usageError(std::string("bad --orch-timeout seconds ") +
+                           text);
+        } else if (!std::strcmp(arg, "--orch-retries")) {
+            orchOnly = true;
+            orchKnobSeen = true;
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 0, 1000, opts.orchRetries))
+                usageError(std::string("bad --orch-retries count ") +
+                           text);
+        } else if (!std::strcmp(arg, "--orch-backoff")) {
+            orchOnly = true;
+            orchKnobSeen = true;
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseIntInRange(text, 0, 600000, opts.orchBackoffMs))
+                usageError(std::string("bad --orch-backoff ms ") + text);
+        } else if (!std::strcmp(arg, "--no-resume")) {
+            orchOnly = true;
+            orchKnobSeen = true;
+            opts.orchResume = false;
+        } else if (!std::strcmp(arg, "--inject-fail")) {
+            orchOnly = true;
+            orchKnobSeen = true;
+            const char *text = nextArg(argc, argv, i, arg);
+            if (!parseInjectSpec(text, opts.inject))
+                usageError(std::string("bad --inject-fail spec ") + text +
+                           " (want shard:attempt:crash|hang|corrupt"
+                           "[,...])");
         } else if (arg[0] == '-') {
             usageError(std::string("unknown option ") + arg);
         } else {
@@ -271,6 +359,29 @@ parseArgs(int argc, char **argv)
             // on the line) and a .ddg input otherwise.
             positional.push_back(arg);
         }
+        // Everything except the orchestration flags is forwarded
+        // verbatim to shard workers, so a worker reproduces exactly
+        // this invocation plus its --shard assignment.
+        if (!orchOnly) {
+            for (int k = argStart; k <= i && k < argc; ++k)
+                opts.workerArgs.push_back(argv[k]);
+        }
+    }
+    if (opts.orchestrate > 0) {
+        if (opts.mergeMode)
+            usageError("--orchestrate cannot be combined with "
+                       "--merge-shards");
+        if (opts.shardMode || !opts.shardOut.empty())
+            usageError("--orchestrate cannot be combined with --shard "
+                       "(the orchestrator launches the shard workers "
+                       "itself)");
+        if (!opts.certifyOut.empty())
+            usageError("--certify-out does not apply to --orchestrate "
+                       "runs (collect certificates from the shard "
+                       "workers instead)");
+    } else if (orchKnobSeen) {
+        usageError("--orch-*/--no-resume/--inject-fail only apply to "
+                   "--orchestrate runs");
     }
     if (opts.mergeMode) {
         opts.mergeFiles = std::move(positional);
@@ -281,6 +392,15 @@ parseArgs(int argc, char **argv)
                        "(certify the evaluating runs instead)");
         if (opts.mergeFiles.empty())
             usageError("--merge-shards needs at least one shard file");
+        // The merge itself also refuses overlapping shard *contents*;
+        // catching a repeated path here gives the clearest diagnostic.
+        for (std::size_t a = 0; a < opts.mergeFiles.size(); ++a) {
+            for (std::size_t b = 0; b < a; ++b) {
+                if (opts.mergeFiles[a] == opts.mergeFiles[b])
+                    usageError("shard file " + opts.mergeFiles[a] +
+                               " given twice");
+            }
+        }
         return opts;
     }
     if (opts.shardMode && opts.shardOut.empty())
@@ -456,6 +576,28 @@ main(int argc, char **argv)
             return merged.rc;
         }
 
+        if (opts.orchestrate > 0) {
+            // Run the grid as a fleet of shard workers of this very
+            // binary; the parent evaluates nothing itself. Merging the
+            // validated shard files reproduces the 1-process run's
+            // stdout and exit code byte-for-byte.
+            OrchestrateOptions orch;
+            orch.shards = opts.orchestrate;
+            orch.dir = opts.orchDir;
+            orch.maxAttempts = opts.orchRetries + 1;
+            orch.timeoutSeconds = opts.orchTimeout;
+            orch.backoffSeconds = opts.orchBackoffMs / 1000.0;
+            orch.resume = opts.orchResume;
+            orch.inject = opts.inject;
+            orch.expectTool = "swpipe_cli";
+            orch.expectConfig = configFingerprint(opts);
+            const OrchestrateResult fleet = orchestrateShards(
+                selfExecutablePath(argv[0]), opts.workerArgs, orch);
+            const MergeOutput merged = mergeShards(fleet.docs);
+            std::cout << merged.text;
+            return merged.rc;
+        }
+
         // Evaluate all loops as one batch on the worker pool, then
         // report serially in input order — the output is byte-identical
         // at any --threads count, --chunk policy, --memo setting,
@@ -536,6 +678,10 @@ main(int argc, char **argv)
                 rc |= rec.rc;
                 doc.records.push_back(std::move(rec));
             }
+            // Fault hook for orchestrator tests: "crash"/"hang" never
+            // return, "corrupt" replaces our write with garbage.
+            if (maybeInjectFault(opts.shardOut))
+                return rc;
             writeShardFile(opts.shardOut, doc);
             std::cerr << "shard " << formatShardSpec(opts.shard) << ": "
                       << doc.records.size() << " of " << doc.totalJobs

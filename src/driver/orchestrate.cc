@@ -1,0 +1,409 @@
+#include "driver/orchestrate.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "support/diag.hh"
+#include "support/strutil.hh"
+
+namespace swp
+{
+
+const char *const kInjectEnv = "SWP_ORCH_INJECT";
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+    case FaultMode::Crash:
+        return "crash";
+    case FaultMode::Hang:
+        return "hang";
+    case FaultMode::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+bool
+parseInjectSpec(const std::string &text, std::vector<FaultInjection> &out)
+{
+    std::vector<FaultInjection> parsed;
+    for (const std::string &item : split(text, ',')) {
+        const std::vector<std::string> parts = split(item, ':');
+        if (parts.size() != 3)
+            return false;
+        FaultInjection inj;
+        if (!parseIntInRange(parts[0], 0, 1000000, inj.shard))
+            return false;
+        if (!parseIntInRange(parts[1], 1, 1000000, inj.attempt))
+            return false;
+        if (parts[2] == "crash")
+            inj.mode = FaultMode::Crash;
+        else if (parts[2] == "hang")
+            inj.mode = FaultMode::Hang;
+        else if (parts[2] == "corrupt")
+            inj.mode = FaultMode::Corrupt;
+        else
+            return false;
+        parsed.push_back(inj);
+    }
+    if (parsed.empty())
+        return false;
+    out.insert(out.end(), parsed.begin(), parsed.end());
+    return true;
+}
+
+bool
+maybeInjectFault(const std::string &shardOutPath)
+{
+    const char *value = std::getenv(kInjectEnv);
+    if (value == nullptr || *value == '\0')
+        return false;
+    const std::string mode = value;
+    if (mode == "crash") {
+        std::cerr << "inject-fail: crashing before writing " << shardOutPath
+                  << "\n";
+        std::_Exit(70);
+    }
+    if (mode == "hang") {
+        std::cerr << "inject-fail: hanging instead of writing " << shardOutPath
+                  << "\n";
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+    if (mode == "corrupt") {
+        std::cerr << "inject-fail: writing corrupt output to " << shardOutPath
+                  << "\n";
+        std::ofstream out(shardOutPath,
+                          std::ios::binary | std::ios::trunc);
+        out << "{\"format\": \"swp-shard-v1\", \"tool\": \"trunc";
+        return true;
+    }
+    SWP_FATAL("unknown ", kInjectEnv, " mode '", mode,
+              "' (expected crash, hang, or corrupt)");
+}
+
+std::string
+selfExecutablePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return std::string(buf);
+    }
+    return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** mkdir -p: create every missing prefix of `dir`. */
+void
+makeDirs(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    for (size_t pos = 0; pos != std::string::npos;) {
+        pos = dir.find('/', pos + 1);
+        const std::string prefix =
+            pos == std::string::npos ? dir : dir.substr(0, pos);
+        if (prefix.empty())
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            SWP_FATAL("orchestrate: cannot create directory ", prefix, ": ",
+                      std::strerror(errno));
+    }
+}
+
+/**
+ * Load + validate the shard file one attempt (or resume probe) should
+ * have produced. Only a file that parses as swp-shard-v1 AND matches
+ * the expected shard spec, tool, and configuration fingerprint counts.
+ */
+bool
+tryLoadShard(const std::string &path, int shard,
+             const OrchestrateOptions &opts, ShardDoc &out, std::string &why)
+{
+    ShardDoc doc;
+    try {
+        doc = readShardFile(path);
+    } catch (const FatalError &err) {
+        why = err.what();
+        return false;
+    }
+    if (doc.shard.index != shard || doc.shard.count != opts.shards) {
+        why = strCat(path, " holds shard ", formatShardSpec(doc.shard),
+                     ", expected ", shard, "/", opts.shards);
+        return false;
+    }
+    if (!opts.expectTool.empty() && doc.tool != opts.expectTool) {
+        why = strCat(path, " was produced by tool '", doc.tool,
+                     "', expected '", opts.expectTool, "'");
+        return false;
+    }
+    if (!opts.expectConfig.empty() && doc.config != opts.expectConfig) {
+        why = strCat(path, " was produced under a different configuration (",
+                     doc.configSummary, ")");
+        return false;
+    }
+    out = std::move(doc);
+    return true;
+}
+
+const FaultInjection *
+findInjection(const std::vector<FaultInjection> &inject, int shard,
+              int attempt)
+{
+    for (const FaultInjection &inj : inject)
+        if (inj.shard == shard && inj.attempt == attempt)
+            return &inj;
+    return nullptr;
+}
+
+struct ShardState
+{
+    enum class Phase
+    {
+        Pending, ///< Waiting (possibly backing off) to be launched.
+        Running, ///< Worker process alive.
+        Done,    ///< Validated shard document captured.
+    };
+
+    Phase phase = Phase::Pending;
+    int attempts = 0; ///< Launches so far.
+    pid_t pid = -1;
+    Clock::time_point readyAt{};  ///< Earliest next launch (backoff).
+    Clock::time_point deadline{}; ///< Timeout kill point (running only).
+    bool hasDeadline = false;
+    bool timedOut = false; ///< Current attempt was SIGKILLed by us.
+    std::string lastFailure;
+};
+
+pid_t
+launchWorker(const std::string &program,
+             const std::vector<std::string> &baseArgs, int shard,
+             const OrchestrateOptions &opts, int attempt,
+             const std::string &outPath, const std::string &logPath)
+{
+    std::vector<std::string> args;
+    args.reserve(baseArgs.size() + 5);
+    args.push_back(program);
+    args.insert(args.end(), baseArgs.begin(), baseArgs.end());
+    args.push_back("--shard");
+    args.push_back(formatShardSpec({shard, opts.shards}));
+    args.push_back(opts.shardOutFlag);
+    args.push_back(outPath);
+
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &arg : args)
+        argv.push_back(&arg[0]);
+    argv.push_back(nullptr);
+
+    // Mark the attempt in the worker log so interleaved attempts stay
+    // readable when a shard is retried.
+    {
+        std::ofstream log(logPath, std::ios::app);
+        log << "=== orchestrate: shard " << shard << "/" << opts.shards
+            << " attempt " << attempt << " ===\n";
+    }
+
+    const FaultInjection *inj = findInjection(opts.inject, shard, attempt);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        SWP_FATAL("orchestrate: fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        const int fd =
+            ::open(logPath.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, 1);
+            ::dup2(fd, 2);
+            if (fd > 2)
+                ::close(fd);
+        }
+        if (inj != nullptr)
+            ::setenv(kInjectEnv, faultModeName(inj->mode), 1);
+        else
+            ::unsetenv(kInjectEnv);
+        ::execv(argv[0], argv.data());
+        // Exec failure: exit uniquely; the parent reports the code and
+        // the log carries nothing else for this attempt.
+        ::_exit(127);
+    }
+    return pid;
+}
+
+std::string
+describeExit(int status, bool timedOut, double timeoutSeconds)
+{
+    if (timedOut)
+        return strCat("timed out after ", timeoutSeconds, " s and was killed");
+    if (WIFEXITED(status)) {
+        if (WEXITSTATUS(status) == 127)
+            return "could not be executed (exec failed, exit 127)";
+        return strCat("exited with code ", WEXITSTATUS(status));
+    }
+    if (WIFSIGNALED(status))
+        return strCat("was killed by signal ", WTERMSIG(status));
+    return strCat("ended with wait status ", status);
+}
+
+} // namespace
+
+OrchestrateResult
+orchestrateShards(const std::string &program,
+                  const std::vector<std::string> &baseArgs,
+                  const OrchestrateOptions &opts)
+{
+    if (opts.shards < 1)
+        SWP_FATAL("orchestrate: shard count must be >= 1, got ", opts.shards);
+    if (opts.maxAttempts < 1)
+        SWP_FATAL("orchestrate: max attempts must be >= 1, got ",
+                  opts.maxAttempts);
+    if (program.empty())
+        SWP_FATAL("orchestrate: worker program path is empty");
+    makeDirs(opts.dir);
+
+    const int n = opts.shards;
+    auto shardFile = [&](int i) {
+        return strCat(opts.dir, "/", opts.filePrefix, i, ".json");
+    };
+    auto shardLog = [&](int i) {
+        return strCat(opts.dir, "/", opts.filePrefix, i, ".log");
+    };
+
+    OrchestrateResult result;
+    result.docs.resize(n);
+    std::vector<ShardState> state(n);
+
+    int remaining = n;
+
+    // Resume: satisfy shards whose previous run already published a
+    // valid file for this exact tool + configuration + shard spec.
+    for (int i = 0; i < n; ++i) {
+        if (!opts.resume)
+            break;
+        std::string why;
+        if (tryLoadShard(shardFile(i), i, opts, result.docs[i], why)) {
+            state[i].phase = ShardState::Phase::Done;
+            ++result.reused;
+            --remaining;
+            std::cerr << "orchestrate: shard " << i << "/" << n
+                      << ": reusing valid shard file " << shardFile(i)
+                      << "\n";
+        } else if (why.find("cannot read") == std::string::npos) {
+            // A file existed but didn't qualify; say why before
+            // recomputing (a plain missing file stays quiet).
+            std::cerr << "orchestrate: shard " << i << "/" << n
+                      << ": ignoring stale shard file: " << why << "\n";
+        }
+    }
+
+    const Clock::time_point start = Clock::now();
+    while (remaining > 0) {
+        const Clock::time_point now = Clock::now();
+
+        // Launch every pending shard whose backoff has elapsed.
+        for (int i = 0; i < n; ++i) {
+            ShardState &s = state[i];
+            if (s.phase != ShardState::Phase::Pending || now < s.readyAt)
+                continue;
+            ++s.attempts;
+            ++result.launched;
+            s.timedOut = false;
+            s.pid = launchWorker(program, baseArgs, i, opts, s.attempts,
+                                 shardFile(i), shardLog(i));
+            s.phase = ShardState::Phase::Running;
+            s.hasDeadline = opts.timeoutSeconds > 0;
+            if (s.hasDeadline)
+                s.deadline =
+                    Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(opts.timeoutSeconds));
+        }
+
+        // Kill workers past their deadline; the reap below sees them.
+        for (int i = 0; i < n; ++i) {
+            ShardState &s = state[i];
+            if (s.phase == ShardState::Phase::Running && s.hasDeadline &&
+                !s.timedOut && Clock::now() >= s.deadline) {
+                s.timedOut = true;
+                ::kill(s.pid, SIGKILL);
+            }
+        }
+
+        // Reap finished workers and judge each attempt by its file.
+        for (int i = 0; i < n; ++i) {
+            ShardState &s = state[i];
+            if (s.phase != ShardState::Phase::Running)
+                continue;
+            int status = 0;
+            const pid_t reaped = ::waitpid(s.pid, &status, WNOHANG);
+            if (reaped != s.pid)
+                continue;
+            s.pid = -1;
+            std::string why;
+            if (!s.timedOut &&
+                tryLoadShard(shardFile(i), i, opts, result.docs[i], why)) {
+                s.phase = ShardState::Phase::Done;
+                --remaining;
+                continue;
+            }
+            const std::string desc =
+                describeExit(status, s.timedOut, opts.timeoutSeconds);
+            s.lastFailure =
+                why.empty() ? desc : strCat(desc, "; ", why);
+            if (s.attempts >= opts.maxAttempts)
+                SWP_FATAL("orchestrate: shard ", i, "/", n, " failed after ",
+                          s.attempts, " attempt",
+                          s.attempts == 1 ? "" : "s", " (last attempt ",
+                          s.lastFailure, "); worker log: ", shardLog(i));
+            double backoff = opts.backoffSeconds;
+            for (int a = 1; a < s.attempts; ++a)
+                backoff *= 2;
+            if (backoff > 5.0)
+                backoff = 5.0;
+            if (backoff < 0)
+                backoff = 0;
+            std::cerr << "orchestrate: shard " << i << "/" << n << " attempt "
+                      << s.attempts << " " << s.lastFailure << " (log: "
+                      << shardLog(i) << "); retrying in "
+                      << static_cast<long>(backoff * 1000) << " ms\n";
+            ++result.retried;
+            s.phase = ShardState::Phase::Pending;
+            s.readyAt = Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(backoff));
+        }
+
+        if (remaining > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::cerr << "orchestrate: " << n << "/" << n << " shards complete ("
+              << result.launched << " launched, " << result.reused
+              << " reused, " << result.retried << " retried, "
+              << static_cast<long>(seconds * 1000) << " ms)\n";
+    return result;
+}
+
+} // namespace swp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Local shard-fleet orchestrator: spawn N shard worker processes of a
+ * consumer binary, monitor them with per-shard timeouts, retry failed
+ * or invalid shards with bounded backoff, and reuse valid pre-existing
+ * shard files (resume) — so a long sharded run survives worker
+ * crashes, hangs, and interruptions of the orchestrating process
+ * itself, and never recomputes work that already produced a valid,
+ * configuration-matching shard file.
+ *
+ * The engine is consumer-agnostic: it launches
+ *
+ *   <program> <baseArgs...> --shard i/N <shardOutFlag> <dir>/<prefix>i.json
+ *
+ * for every shard i, captures each worker's stdout/stderr into
+ * <dir>/<prefix>i.log, and declares a shard done exactly when its
+ * output file parses as a valid swp-shard-v1 document for shard i/N of
+ * the expected tool and configuration fingerprint — a worker's exit
+ * code is diagnostic detail, not the success signal, so a worker that
+ * dies *after* atomically publishing its file still counts (and a
+ * worker that exits 0 after writing garbage does not).
+ *
+ * Deterministic fault injection (for tests and drills): an injection
+ * spec "shard:attempt:mode" makes the engine export SWP_ORCH_INJECT to
+ * that specific launch; consumers call maybeInjectFault() at their
+ * shard-write point, which crashes, hangs, or corrupts the output on
+ * command. Every failure path — crash, hang (timeout + SIGKILL),
+ * truncated/invalid output — is thereby reachable on demand.
+ */
+
+#ifndef SWP_DRIVER_ORCHESTRATE_HH
+#define SWP_DRIVER_ORCHESTRATE_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/shard_merge.hh"
+
+namespace swp
+{
+
+/** What an injected fault does at the worker's shard-write point. */
+enum class FaultMode
+{
+    Crash,    ///< _Exit before writing any output.
+    Hang,     ///< Sleep forever (exercises the timeout + kill path).
+    Corrupt,  ///< Write truncated JSON at the final path, then exit 0.
+};
+
+/** "crash" / "hang" / "corrupt". */
+const char *faultModeName(FaultMode mode);
+
+/** One deterministic fault: fire at launch `attempt` of shard `shard`. */
+struct FaultInjection
+{
+    int shard = 0;
+    /** 1-based launch attempt the fault applies to. */
+    int attempt = 1;
+    FaultMode mode = FaultMode::Crash;
+};
+
+/**
+ * Parse "shard:attempt:mode[,shard:attempt:mode...]" (attempt is
+ * 1-based). Returns false without touching `out` on malformed input.
+ */
+bool parseInjectSpec(const std::string &text,
+                     std::vector<FaultInjection> &out);
+
+/** Environment variable carrying an injected fault to one worker. */
+extern const char *const kInjectEnv;
+
+/**
+ * Worker-side fault hook; call immediately before writing the shard
+ * file. Reads kInjectEnv: on "crash"/"hang" it never returns; on
+ * "corrupt" it writes invalid JSON at `shardOutPath` and returns true
+ * (the caller must then skip its own write). Returns false when no
+ * fault is injected.
+ */
+bool maybeInjectFault(const std::string &shardOutPath);
+
+/** Orchestration knobs; the defaults suit an interactive local run. */
+struct OrchestrateOptions
+{
+    /** Number of shards == number of worker processes (all launched
+        concurrently; pick N at or below the core count). */
+    int shards = 1;
+
+    /** Directory holding shard files and per-shard worker logs
+        (created, including parents, when missing). */
+    std::string dir = "swp_orch";
+
+    /** Shard file name prefix: shard i lives in <dir>/<prefix>i.json
+        and logs to <dir>/<prefix>i.log. */
+    std::string filePrefix = "shard-";
+
+    /** Flag announcing the output path to the worker (the CLI takes
+        --shard-out, the bench harnesses --orch-record). */
+    std::string shardOutFlag = "--shard-out";
+
+    /** Total launch attempts per shard before giving up (>= 1). */
+    int maxAttempts = 3;
+
+    /** Per-attempt wall-clock limit in seconds; a worker past its
+        deadline is SIGKILLed and the attempt counts as failed.
+        0 disables the timeout. */
+    double timeoutSeconds = 600.0;
+
+    /** Delay before relaunching a failed shard; doubles per failed
+        attempt (capped at 5 s). */
+    double backoffSeconds = 0.1;
+
+    /** Reuse a pre-existing valid shard file of the same tool,
+        configuration, and shard spec instead of recomputing it. */
+    bool resume = true;
+
+    /** Expected shard-file tool name; empty skips the check. */
+    std::string expectTool;
+
+    /** Expected configuration fingerprint; empty skips the check.
+        Resume candidates failing it are recomputed, and a worker
+        producing a mismatched file counts as a failed attempt. */
+    std::string expectConfig;
+
+    /** Deterministic fault injections (tests and drills). */
+    std::vector<FaultInjection> inject;
+};
+
+/** Fleet outcome; `docs` holds one validated document per shard. */
+struct OrchestrateResult
+{
+    std::vector<ShardDoc> docs;
+
+    /** Shards satisfied by a pre-existing valid file (no launch). */
+    int reused = 0;
+
+    /** Worker processes actually spawned (all attempts). */
+    int launched = 0;
+
+    /** Relaunches beyond each shard's first attempt. */
+    int retried = 0;
+};
+
+/**
+ * Run the fleet to completion. Returns once every shard has a
+ * validated shard file; throws FatalError naming the shard, the
+ * attempt count, the last failure, and the worker log when any shard
+ * exhausts its attempts. Progress and per-attempt diagnostics go to
+ * stderr; stdout is never touched (callers print the merged output).
+ */
+OrchestrateResult orchestrateShards(const std::string &program,
+                                    const std::vector<std::string> &baseArgs,
+                                    const OrchestrateOptions &opts);
+
+/**
+ * Absolute path of the running executable (/proc/self/exe), falling
+ * back to argv0 — for re-exec'ing the current binary as a worker.
+ */
+std::string selfExecutablePath(const char *argv0);
+
+} // namespace swp
+
+#endif // SWP_DRIVER_ORCHESTRATE_HH

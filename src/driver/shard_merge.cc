@@ -1,6 +1,9 @@
 #include "driver/shard_merge.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -358,6 +361,18 @@ writeShardFile(std::ostream &out, const ShardDoc &doc)
     out << "  \"shard\": {\"index\": " << doc.shard.index
         << ", \"count\": " << doc.shard.count << "},\n";
     out << "  \"prologue\": " << jsonQuote(doc.prologue) << ",\n";
+    if (!doc.benchJobs.empty()) {
+        out << "  \"benchJobs\": [";
+        for (std::size_t i = 0; i < doc.benchJobs.size(); ++i) {
+            const BenchJobRecord &r = doc.benchJobs[i];
+            out << (i ? ",\n    " : "\n    ") << "{\"key\": "
+                << jsonQuote(r.key) << ", \"v\": [" << int(r.success)
+                << ", " << int(r.usedFallback) << ", " << r.ii << ", "
+                << r.regs << ", " << r.spills << ", " << r.rounds << ", "
+                << r.attempts << ", " << r.memOps << "]}";
+        }
+        out << "\n  ],\n";
+    }
     out << "  \"records\": [";
     for (std::size_t i = 0; i < doc.records.size(); ++i) {
         const ShardRecord &r = doc.records[i];
@@ -371,13 +386,28 @@ writeShardFile(std::ostream &out, const ShardDoc &doc)
 void
 writeShardFile(const std::string &path, const ShardDoc &doc)
 {
-    std::ofstream out(path);
-    if (!out)
-        SWP_FATAL("cannot write shard file ", path);
-    writeShardFile(out, doc);
-    out.flush();
-    if (!out)
-        SWP_FATAL("error writing shard file ", path);
+    // Serialize to a temporary sibling and rename into place, so a
+    // process killed mid-write never leaves a truncated document at
+    // the final path (rename within a directory is atomic on POSIX).
+    // The pid keeps concurrent writers' temporaries apart.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            SWP_FATAL("cannot write shard file ", tmp);
+        writeShardFile(out, doc);
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            SWP_FATAL("error writing shard file ", tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        SWP_FATAL("cannot move shard file into place: ", tmp, " -> ",
+                  path);
+    }
 }
 
 ShardDoc
@@ -421,6 +451,39 @@ readShardFile(const std::string &path)
         int(intField(shard, "index", path, 0, doc.shard.count - 1));
     doc.prologue = field(root, "prologue", Json::Kind::Str, path).str;
 
+    if (const Json *bench = root.find("benchJobs")) {
+        if (bench->kind != Json::Kind::Arr)
+            SWP_FATAL(path, ": invalid shard file: field 'benchJobs' "
+                            "has the wrong type");
+        doc.benchJobs.reserve(bench->arr.size());
+        for (const Json &rec : bench->arr) {
+            if (rec.kind != Json::Kind::Obj)
+                SWP_FATAL(path, ": invalid shard file: bench record is "
+                                "not an object");
+            BenchJobRecord r;
+            r.key = field(rec, "key", Json::Kind::Str, path).str;
+            const Json &v = field(rec, "v", Json::Kind::Arr, path);
+            if (v.arr.size() != 8)
+                SWP_FATAL(path, ": invalid shard file: bench record "
+                                "'v' must hold 8 integers");
+            for (const Json &cell : v.arr) {
+                if (cell.kind != Json::Kind::Int || cell.integer < 0 ||
+                    cell.integer > 1000000000)
+                    SWP_FATAL(path, ": invalid shard file: bench "
+                                    "record value out of range");
+            }
+            r.success = v.arr[0].integer != 0;
+            r.usedFallback = v.arr[1].integer != 0;
+            r.ii = int(v.arr[2].integer);
+            r.regs = int(v.arr[3].integer);
+            r.spills = int(v.arr[4].integer);
+            r.rounds = int(v.arr[5].integer);
+            r.attempts = int(v.arr[6].integer);
+            r.memOps = int(v.arr[7].integer);
+            doc.benchJobs.push_back(std::move(r));
+        }
+    }
+
     const Json &records = field(root, "records", Json::Kind::Arr, path);
     doc.records.reserve(records.arr.size());
     for (const Json &rec : records.arr) {
@@ -433,19 +496,38 @@ readShardFile(const std::string &path)
         r.text = field(rec, "text", Json::Kind::Str, path).str;
         doc.records.push_back(std::move(r));
     }
+    doc.source = path;
     return doc;
 }
 
-MergeOutput
-mergeShards(const std::vector<ShardDoc> &docs)
+namespace
+{
+
+/** "i/N", plus the source file when known — names the offender. */
+std::string
+docName(const ShardDoc &doc)
+{
+    std::string name = formatShardSpec(doc.shard);
+    if (!doc.source.empty())
+        name += " (" + doc.source + ")";
+    return name;
+}
+
+/**
+ * Coherence checks shared by mergeShards and mergeBenchRecords: one
+ * tool, one configuration, one suite, one grid; exactly one document
+ * per shard index. Returns the reference document (docs.front()).
+ */
+const ShardDoc &
+validateShardSet(const std::vector<ShardDoc> &docs)
 {
     if (docs.empty())
         SWP_FATAL("merge: no shard files given");
 
     const ShardDoc &ref = docs.front();
-    const std::string refName = formatShardSpec(ref.shard);
+    const std::string refName = docName(ref);
     for (const ShardDoc &doc : docs) {
-        const std::string name = formatShardSpec(doc.shard);
+        const std::string name = docName(doc);
         if (doc.tool != ref.tool) {
             SWP_FATAL("merge: shard ", name, " was produced by '",
                       doc.tool, "' but shard ", refName, " by '",
@@ -488,8 +570,12 @@ mergeShards(const std::vector<ShardDoc> &docs)
     for (const ShardDoc &doc : docs) {
         const ShardDoc *&slot = byIndex[std::size_t(doc.shard.index)];
         if (slot) {
-            SWP_FATAL("merge: overlapping shards: shard ",
-                      formatShardSpec(doc.shard), " provided twice");
+            SWP_FATAL("merge: overlapping shards: shard ", docName(doc),
+                      " provided twice",
+                      slot->source.empty() || doc.source.empty()
+                          ? ""
+                          : strCat(" (as ", slot->source, " and ",
+                                   doc.source, ")"));
         }
         slot = &doc;
     }
@@ -499,13 +585,23 @@ mergeShards(const std::vector<ShardDoc> &docs)
                       docs.size(), " of ", count, " shard files)");
         }
     }
+    return ref;
+}
+
+} // namespace
+
+MergeOutput
+mergeShards(const std::vector<ShardDoc> &docs)
+{
+    const ShardDoc &ref = validateShardSet(docs);
+    const int count = ref.shard.count;
 
     // Sized by the records actually present, never by the
     // file-provided grid size, so a corrupt "jobs" field cannot drive
     // a huge allocation — it is refused by the coverage check instead.
     std::map<std::size_t, const ShardRecord *> byJob;
     for (const ShardDoc &doc : docs) {
-        const std::string name = formatShardSpec(doc.shard);
+        const std::string name = docName(doc);
         for (const ShardRecord &rec : doc.records) {
             if (rec.job >= ref.totalJobs) {
                 SWP_FATAL("merge: shard ", name, " carries job ",
@@ -541,6 +637,43 @@ mergeShards(const std::vector<ShardDoc> &docs)
     for (const auto &kv : byJob) {
         out.text += kv.second->text;
         out.rc |= kv.second->rc;
+    }
+    return out;
+}
+
+std::vector<BenchJobRecord>
+mergeBenchRecords(const std::vector<ShardDoc> &docs)
+{
+    validateShardSet(docs);
+
+    auto same = [](const BenchJobRecord &a, const BenchJobRecord &b) {
+        return a.success == b.success && a.usedFallback == b.usedFallback &&
+               a.ii == b.ii && a.regs == b.regs && a.spills == b.spills &&
+               a.rounds == b.rounds && a.attempts == b.attempts &&
+               a.memOps == b.memOps;
+    };
+
+    std::vector<BenchJobRecord> out;
+    std::map<std::string, std::pair<const BenchJobRecord *,
+                                    const ShardDoc *>> byKey;
+    for (const ShardDoc &doc : docs) {
+        for (const BenchJobRecord &rec : doc.benchJobs) {
+            const auto ins =
+                byKey.emplace(rec.key, std::make_pair(&rec, &doc));
+            if (ins.second) {
+                out.push_back(rec);
+                continue;
+            }
+            // Jobs are pure functions of their key's inputs, so the
+            // same key recorded by two shards must agree exactly; a
+            // mismatch means the fleet was not homogeneous.
+            if (!same(*ins.first->second.first, rec)) {
+                SWP_FATAL("merge: conflicting bench records for job key ",
+                          rec.key, " between shard ",
+                          docName(*ins.first->second.second),
+                          " and shard ", docName(doc));
+            }
+        }
     }
     return out;
 }

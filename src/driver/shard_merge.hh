@@ -73,6 +73,29 @@ struct ShardRecord
     std::string text;
 };
 
+/**
+ * One bench-harness job result carried in a shard file. Pipeline jobs
+ * are pure functions of (machine, graph, options), so a record is
+ * keyed by a fingerprint of exactly those inputs and holds the scalar
+ * outcome every converted bench table is computed from; an
+ * orchestrating bench parent replays its grids job-by-job from the
+ * merged record store instead of evaluating them.
+ */
+struct BenchJobRecord
+{
+    /** Fingerprint of (machine, graph, job options), hex. */
+    std::string key;
+
+    bool success = false;
+    bool usedFallback = false;
+    int ii = 0;       ///< Achieved initiation interval.
+    int regs = 0;     ///< Registers required by the allocation.
+    int spills = 0;   ///< Spilled lifetimes.
+    int rounds = 0;   ///< Spill rounds taken.
+    int attempts = 0; ///< Scheduling attempts.
+    int memOps = 0;   ///< Memory operations per iteration (incl. spills).
+};
+
 /** In-memory form of one shard file. */
 struct ShardDoc
 {
@@ -106,12 +129,25 @@ struct ShardDoc
 
     /** This shard's jobs, in ascending job order. */
     std::vector<ShardRecord> records;
+
+    /** Bench-harness per-job records (optional; bench fleets only). */
+    std::vector<BenchJobRecord> benchJobs;
+
+    /** Where this document was read from (set by readShardFile, not
+        serialized); names the offending file in merge diagnostics. */
+    std::string source;
 };
 
 /** Serialize a shard document as JSON. */
 void writeShardFile(std::ostream &out, const ShardDoc &doc);
 
-/** Write to a file; throws FatalError when the file cannot be written. */
+/**
+ * Write to a file crash-safely: the document is serialized to a
+ * temporary sibling and atomically renamed into place, so a worker
+ * killed mid-write never leaves a truncated file at the final path —
+ * readers see either the old complete file or the new complete file.
+ * Throws FatalError when the file cannot be written.
+ */
 void writeShardFile(const std::string &path, const ShardDoc &doc);
 
 /** Parse one shard file; throws FatalError on I/O or format errors. */
@@ -136,6 +172,17 @@ struct MergeOutput
  * duplicate or missing job indices.
  */
 MergeOutput mergeShards(const std::vector<ShardDoc> &docs);
+
+/**
+ * Validate and merge the bench-harness record stores of a complete
+ * shard set (same coherence rules as mergeShards, minus text-record
+ * coverage — bench grids are keyed by content, not job index). Records
+ * duplicated across shards must be field-identical (jobs are pure
+ * functions; a mismatch means the shards did not run the same build or
+ * inputs and is refused). Returns the union, keyed for lookup.
+ */
+std::vector<BenchJobRecord>
+mergeBenchRecords(const std::vector<ShardDoc> &docs);
 
 } // namespace swp
 

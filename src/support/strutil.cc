@@ -109,6 +109,22 @@ parseIntInRange(const std::string &s, int lo, int hi, int &out)
     return true;
 }
 
+bool
+parseInt64InRange(const std::string &s, long long lo, long long hi,
+                  long long &out)
+{
+    if (s.empty() ||
+        (s[0] != '-' && !std::isdigit(static_cast<unsigned char>(s[0]))))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE || v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
 std::string
 strprintf(const char *fmt, ...)
 {

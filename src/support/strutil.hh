@@ -7,7 +7,9 @@
 #define SWP_SUPPORT_STRUTIL_HH
 
 #include <cstdint>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace swp
@@ -37,6 +39,20 @@ bool parseUint64(const std::string &s, std::uint64_t &out);
 
 /** Parse a base-10 integer in [lo, hi]; false (out untouched) otherwise. */
 bool parseIntInRange(const std::string &s, int lo, int hi, int &out);
+
+/** 64-bit variant of parseIntInRange. */
+bool parseInt64InRange(const std::string &s, long long lo, long long hi,
+                       long long &out);
+
+/** Concatenate a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream os;
+    ((os << std::forward<Args>(args)), ...);
+    return os.str();
+}
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Orchestrator tests: fault-injection spec parsing, and the engine's
+ * retry/resume/timeout behaviour driven by fake shell-script workers
+ * whose failures (crash, corrupt output, hang) are fully under the
+ * test's control. The engine's contract is judged the way production
+ * judges it: a shard attempt counts if and only if it published a
+ * valid shard file for the expected tool + configuration + shard spec.
+ *
+ * End-to-end `swpipe_cli --orchestrate` runs (byte-identity against the
+ * serial baseline, including under injected faults) live in
+ * examples/orchestrate_check.cmake; these tests isolate the engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/orchestrate.hh"
+#include "driver/shard_merge.hh"
+#include "support/diag.hh"
+
+namespace swp
+{
+namespace
+{
+
+TEST(InjectSpec, ParsesSingleAndLists)
+{
+    std::vector<FaultInjection> out;
+    ASSERT_TRUE(parseInjectSpec("2:1:crash", out));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].shard, 2);
+    EXPECT_EQ(out[0].attempt, 1);
+    EXPECT_EQ(out[0].mode, FaultMode::Crash);
+
+    // Lists append to what was already parsed (repeatable flag).
+    ASSERT_TRUE(parseInjectSpec("0:2:hang,3:1:corrupt", out));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[1].mode, FaultMode::Hang);
+    EXPECT_EQ(out[1].attempt, 2);
+    EXPECT_EQ(out[2].shard, 3);
+    EXPECT_EQ(out[2].mode, FaultMode::Corrupt);
+}
+
+TEST(InjectSpec, RejectsMalformedSpecs)
+{
+    std::vector<FaultInjection> out;
+    for (const char *bad :
+         {"", "1", "1:2", "1:2:boom", "x:1:crash", "1:x:crash",
+          "-1:1:crash", "1:0:crash", "1:1:crash,", ",1:1:crash",
+          "1:1:CRASH", "1:1:crash:extra", "1:1: crash"}) {
+        EXPECT_FALSE(parseInjectSpec(bad, out)) << bad;
+    }
+    // Failed parses never extend the output.
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(InjectSpec, ModeNamesRoundTrip)
+{
+    EXPECT_STREQ(faultModeName(FaultMode::Crash), "crash");
+    EXPECT_STREQ(faultModeName(FaultMode::Hang), "hang");
+    EXPECT_STREQ(faultModeName(FaultMode::Corrupt), "corrupt");
+}
+
+TEST(SelfExecutable, ResolvesToAnExistingFile)
+{
+    const std::string self = selfExecutablePath("fallback");
+    ASSERT_FALSE(self.empty());
+    EXPECT_TRUE(std::filesystem::exists(self)) << self;
+}
+
+/** Fixture running the engine against fake /bin/sh workers. */
+class OrchestrateEngine : public ::testing::Test
+{
+protected:
+    /** Fresh per-test work dir (stale files would satisfy resume). */
+    std::string
+    freshDir(const std::string &name)
+    {
+        const std::string dir = testing::TempDir() + "/swp_orch_" + name;
+        std::filesystem::remove_all(dir);
+        return dir;
+    }
+
+    /**
+     * A fake worker: a shell script that parses the --shard/--shard-out
+     * flags the engine appends, runs `body` (with $i = shard index and
+     * $out = output path in scope), and by default publishes the
+     * pre-made payload file for its shard.
+     */
+    std::string
+    writeWorker(const std::string &dir, const std::string &body)
+    {
+        std::filesystem::create_directories(dir);
+        const std::string path = dir + "/worker.sh";
+        {
+            std::ofstream out(path);
+            out << "#!/bin/sh\n"
+                << "spec=; out=\n"
+                << "while [ \"$#\" -gt 0 ]; do\n"
+                << "  case \"$1\" in\n"
+                << "    --shard) spec=\"$2\"; shift;;\n"
+                << "    --shard-out) out=\"$2\"; shift;;\n"
+                << "  esac\n"
+                << "  shift\n"
+                << "done\n"
+                << "i=\"${spec%%/*}\"\n"
+                << "dir=\"" << dir << "\"\n"
+                << body << "\n";
+        }
+        ::chmod(path.c_str(), 0755);
+        return path;
+    }
+
+    /** The valid shard document worker i of n should publish. */
+    ShardDoc
+    payloadDoc(int i, int n)
+    {
+        ShardDoc doc;
+        doc.tool = "fake_worker";
+        doc.config = "cfg-fake-1";
+        doc.configSummary = "fake test config";
+        doc.totalJobs = std::size_t(n);
+        doc.shard = {i, n};
+        doc.prologue = "prologue\n";
+        doc.records.push_back(
+            {std::size_t(i), 0,
+             "record " + std::to_string(i) + "\n"});
+        return doc;
+    }
+
+    /** Pre-made payload files the scripts publish with `cp`. */
+    void
+    writePayloads(const std::string &dir, int n)
+    {
+        std::filesystem::create_directories(dir);
+        for (int i = 0; i < n; ++i)
+            writeShardFile(dir + "/payload-" + std::to_string(i) +
+                               ".json",
+                           payloadDoc(i, n));
+    }
+
+    OrchestrateOptions
+    baseOptions(const std::string &dir, int shards)
+    {
+        OrchestrateOptions opts;
+        opts.shards = shards;
+        opts.dir = dir;
+        opts.backoffSeconds = 0.01;
+        opts.expectTool = "fake_worker";
+        opts.expectConfig = "cfg-fake-1";
+        return opts;
+    }
+};
+
+TEST_F(OrchestrateEngine, RunsEveryShardAndMergesCleanly)
+{
+    const std::string dir = freshDir("happy");
+    writePayloads(dir, 3);
+    const std::string worker =
+        writeWorker(dir, "cp \"$dir/payload-$i.json\" \"$out\"");
+
+    const OrchestrateResult r =
+        orchestrateShards(worker, {}, baseOptions(dir, 3));
+    EXPECT_EQ(r.launched, 3);
+    EXPECT_EQ(r.reused, 0);
+    EXPECT_EQ(r.retried, 0);
+    ASSERT_EQ(r.docs.size(), 3u);
+
+    const MergeOutput merged = mergeShards(r.docs);
+    EXPECT_EQ(merged.text, "prologue\nrecord 0\nrecord 1\nrecord 2\n");
+    EXPECT_EQ(merged.rc, 0);
+}
+
+TEST_F(OrchestrateEngine, RetriesAShardThatCrashesOnce)
+{
+    const std::string dir = freshDir("crash");
+    writePayloads(dir, 2);
+    // Shard 1 dies before publishing on its first attempt only.
+    const std::string worker = writeWorker(
+        dir, "if [ \"$i\" = 1 ] && [ ! -e \"$dir/mark-$i\" ]; then\n"
+             "  : > \"$dir/mark-$i\"\n"
+             "  exit 9\n"
+             "fi\n"
+             "cp \"$dir/payload-$i.json\" \"$out\"");
+
+    const OrchestrateResult r =
+        orchestrateShards(worker, {}, baseOptions(dir, 2));
+    EXPECT_EQ(r.launched, 3);
+    EXPECT_EQ(r.retried, 1);
+    EXPECT_EQ(mergeShards(r.docs).text,
+              "prologue\nrecord 0\nrecord 1\n");
+}
+
+TEST_F(OrchestrateEngine, RetriesAShardThatPublishesGarbage)
+{
+    const std::string dir = freshDir("corrupt");
+    writePayloads(dir, 2);
+    // Shard 0's first attempt exits 0 but leaves truncated JSON: the
+    // attempt must be judged by its file, not its exit code.
+    const std::string worker = writeWorker(
+        dir, "if [ \"$i\" = 0 ] && [ ! -e \"$dir/mark-$i\" ]; then\n"
+             "  : > \"$dir/mark-$i\"\n"
+             "  printf '{\"format\": \"swp-shard-v1\", \"tool' > \"$out\"\n"
+             "  exit 0\n"
+             "fi\n"
+             "cp \"$dir/payload-$i.json\" \"$out\"");
+
+    const OrchestrateResult r =
+        orchestrateShards(worker, {}, baseOptions(dir, 2));
+    EXPECT_EQ(r.retried, 1);
+    EXPECT_EQ(mergeShards(r.docs).text,
+              "prologue\nrecord 0\nrecord 1\n");
+}
+
+TEST_F(OrchestrateEngine, KillsAndRetriesAHungShard)
+{
+    const std::string dir = freshDir("hang");
+    writePayloads(dir, 2);
+    const std::string worker = writeWorker(
+        dir, "if [ \"$i\" = 1 ] && [ ! -e \"$dir/mark-$i\" ]; then\n"
+             "  : > \"$dir/mark-$i\"\n"
+             "  exec sleep 30\n"
+             "fi\n"
+             "cp \"$dir/payload-$i.json\" \"$out\"");
+
+    OrchestrateOptions opts = baseOptions(dir, 2);
+    opts.timeoutSeconds = 0.5;
+    const OrchestrateResult r = orchestrateShards(worker, {}, opts);
+    EXPECT_EQ(r.retried, 1);
+    EXPECT_EQ(mergeShards(r.docs).text,
+              "prologue\nrecord 0\nrecord 1\n");
+}
+
+TEST_F(OrchestrateEngine, ExhaustedRetriesFailNamingTheShard)
+{
+    const std::string dir = freshDir("exhaust");
+    const std::string worker = writeWorker(dir, "exit 3");
+
+    OrchestrateOptions opts = baseOptions(dir, 2);
+    opts.maxAttempts = 2;
+    try {
+        orchestrateShards(worker, {}, opts);
+        FAIL() << "orchestrate accepted a permanently failing worker";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("failed after 2 attempts"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("shard "), std::string::npos) << msg;
+        EXPECT_NE(msg.find("exited with code 3"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(".log"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(OrchestrateEngine, ResumeReusesValidShardFilesWithoutLaunching)
+{
+    const std::string dir = freshDir("resume");
+    std::filesystem::create_directories(dir);
+    for (int i = 0; i < 3; ++i)
+        writeShardFile(dir + "/shard-" + std::to_string(i) + ".json",
+                       payloadDoc(i, 3));
+
+    // /bin/false as the worker proves nothing is launched.
+    const OrchestrateResult r =
+        orchestrateShards("/bin/false", {}, baseOptions(dir, 3));
+    EXPECT_EQ(r.reused, 3);
+    EXPECT_EQ(r.launched, 0);
+    EXPECT_EQ(mergeShards(r.docs).text,
+              "prologue\nrecord 0\nrecord 1\nrecord 2\n");
+}
+
+TEST_F(OrchestrateEngine, ResumeIgnoresShardFilesFromAnotherConfig)
+{
+    const std::string dir = freshDir("stale");
+    writePayloads(dir, 1);
+    ShardDoc stale = payloadDoc(0, 1);
+    stale.config = "cfg-other";
+    stale.configSummary = "some other run";
+    writeShardFile(dir + "/shard-0.json", stale);
+
+    const std::string worker =
+        writeWorker(dir, "cp \"$dir/payload-$i.json\" \"$out\"");
+    const OrchestrateResult r =
+        orchestrateShards(worker, {}, baseOptions(dir, 1));
+    // The stale file must be recomputed, not reused.
+    EXPECT_EQ(r.reused, 0);
+    EXPECT_EQ(r.launched, 1);
+    ASSERT_EQ(r.docs.size(), 1u);
+    EXPECT_EQ(r.docs[0].config, "cfg-fake-1");
+}
+
+TEST_F(OrchestrateEngine, NoResumeRecomputesEvenValidFiles)
+{
+    const std::string dir = freshDir("noresume");
+    writePayloads(dir, 2);
+    for (int i = 0; i < 2; ++i)
+        writeShardFile(dir + "/shard-" + std::to_string(i) + ".json",
+                       payloadDoc(i, 2));
+    const std::string worker =
+        writeWorker(dir, "cp \"$dir/payload-$i.json\" \"$out\"");
+
+    OrchestrateOptions opts = baseOptions(dir, 2);
+    opts.resume = false;
+    const OrchestrateResult r = orchestrateShards(worker, {}, opts);
+    EXPECT_EQ(r.reused, 0);
+    EXPECT_EQ(r.launched, 2);
+}
+
+TEST_F(OrchestrateEngine, RefusesNonsenseOptions)
+{
+    const std::string dir = freshDir("opts");
+    OrchestrateOptions opts = baseOptions(dir, 0);
+    EXPECT_THROW(orchestrateShards("/bin/true", {}, opts), FatalError);
+    opts.shards = 1;
+    opts.maxAttempts = 0;
+    EXPECT_THROW(orchestrateShards("/bin/true", {}, opts), FatalError);
+    opts.maxAttempts = 1;
+    EXPECT_THROW(orchestrateShards("", {}, opts), FatalError);
+}
+
+TEST_F(OrchestrateEngine, ExecFailureIsReportedNotHidden)
+{
+    const std::string dir = freshDir("exec");
+    // A directory is not executable: every attempt exits 127.
+    OrchestrateOptions opts = baseOptions(dir, 1);
+    opts.maxAttempts = 1;
+    try {
+        orchestrateShards(dir, {}, opts);
+        FAIL() << "orchestrate accepted an unexecutable worker";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("could not be executed"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace swp

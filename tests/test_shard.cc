@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -104,6 +105,59 @@ TEST(ShardFile, RoundTripPreservesEveryByte)
         EXPECT_EQ(back.records[i].job, doc.records[i].job) << i;
         EXPECT_EQ(back.records[i].rc, doc.records[i].rc) << i;
         EXPECT_EQ(back.records[i].text, doc.records[i].text) << i;
+    }
+}
+
+TEST(ShardFile, WriteIsAtomicAndLeavesNoTempFiles)
+{
+    ShardDoc doc;
+    doc.tool = "swpipe_cli";
+    doc.config = "cfg";
+    doc.totalJobs = 1;
+    doc.shard = {0, 1};
+    doc.records.push_back({0, 0, "r\n"});
+
+    const std::string dir =
+        testing::TempDir() + "/swp_shard_atomic_dir";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/out.json";
+
+    // Writing over a pre-existing file must replace it whole.
+    {
+        std::ofstream stale(path);
+        stale << "stale partial content";
+    }
+    writeShardFile(path, doc);
+    EXPECT_EQ(readShardFile(path).records.size(), 1u);
+
+    // The temp file used for the atomic rename must be gone.
+    int entries = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1) << "temp file left behind in " << dir;
+
+    // An unwritable destination fails up front (no partial file).
+    EXPECT_THROW(writeShardFile(dir + "/no_such_dir/out.json", doc),
+                 FatalError);
+}
+
+TEST(ShardFile, DiagnosticsNameTheOffendingFile)
+{
+    const std::string path =
+        testing::TempDir() + "/swp_shard_named_bad.json";
+    {
+        std::ofstream out(path);
+        out << "{\"format\": \"swp-shard-v1\", \"tool\": \"trunc";
+    }
+    try {
+        readShardFile(path);
+        FAIL() << "accepted truncated JSON";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << "message was: " << e.what();
     }
 }
 
@@ -353,6 +407,120 @@ TEST(ShardMerge, RefusesEmptyAndMixedToolSets)
     std::vector<ShardDoc> docs = consistentDocs();
     docs[1].tool = "other_tool";
     expectMergeError(docs, "produced by");
+}
+
+TEST(ShardMerge, DuplicateDiagnosticNamesTheSourceFiles)
+{
+    // When docs came from files, the overlap diagnostic must say which
+    // files collided so a cluster user can fix the right inputs.
+    std::vector<ShardDoc> docs = consistentDocs();
+    const std::string pathA = testing::TempDir() + "/swp_dup_a.json";
+    const std::string pathB = testing::TempDir() + "/swp_dup_b.json";
+    writeShardFile(pathA, docs[0]);
+    writeShardFile(pathB, docs[0]);
+    docs[2] = readShardFile(pathB);
+    docs[0] = readShardFile(pathA);
+
+    try {
+        mergeShards(docs);
+        FAIL() << "merge accepted a duplicated shard";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(pathA), std::string::npos) << msg;
+        EXPECT_NE(msg.find(pathB), std::string::npos) << msg;
+        EXPECT_NE(msg.find("twice"), std::string::npos) << msg;
+    }
+}
+
+TEST(ShardFile, BenchJobRecordsRoundTrip)
+{
+    ShardDoc doc;
+    doc.tool = "bench:fake";
+    doc.config = "cfg";
+    doc.totalJobs = 0;
+    doc.shard = {1, 2};
+    doc.benchJobs.push_back(
+        {"00ab", true, false, 7, 12, 0, 1, 3, 4});
+    doc.benchJobs.push_back(
+        {"00cd", false, true, 9, 30, 5, 48, 99, 6});
+
+    const std::string path =
+        testing::TempDir() + "/swp_shard_bench_rt.json";
+    writeShardFile(path, doc);
+    const ShardDoc back = readShardFile(path);
+    ASSERT_EQ(back.benchJobs.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(back.benchJobs[i].key, doc.benchJobs[i].key) << i;
+        EXPECT_EQ(back.benchJobs[i].success, doc.benchJobs[i].success);
+        EXPECT_EQ(back.benchJobs[i].usedFallback,
+                  doc.benchJobs[i].usedFallback);
+        EXPECT_EQ(back.benchJobs[i].ii, doc.benchJobs[i].ii) << i;
+        EXPECT_EQ(back.benchJobs[i].regs, doc.benchJobs[i].regs) << i;
+        EXPECT_EQ(back.benchJobs[i].spills, doc.benchJobs[i].spills);
+        EXPECT_EQ(back.benchJobs[i].rounds, doc.benchJobs[i].rounds);
+        EXPECT_EQ(back.benchJobs[i].attempts, doc.benchJobs[i].attempts);
+        EXPECT_EQ(back.benchJobs[i].memOps, doc.benchJobs[i].memOps);
+    }
+    EXPECT_EQ(back.source, path);
+}
+
+/** A 2-shard bench-record set with one key duplicated across shards. */
+std::vector<ShardDoc>
+benchRecordDocs()
+{
+    std::vector<ShardDoc> docs(2);
+    for (int s = 0; s < 2; ++s) {
+        docs[s].tool = "bench:fake";
+        docs[s].config = "cfg";
+        docs[s].totalJobs = 4;
+        docs[s].shard = {s, 2};
+        for (std::size_t j = std::size_t(s); j < 4; j += 2)
+            docs[s].records.push_back({j, 0, ""});
+    }
+    docs[0].benchJobs.push_back({"key-a", true, false, 3, 8, 0, 1, 2, 1});
+    docs[0].benchJobs.push_back({"key-b", true, false, 5, 9, 1, 2, 4, 2});
+    // Pure jobs: the shared key carries identical fields in both files.
+    docs[1].benchJobs.push_back({"key-b", true, false, 5, 9, 1, 2, 4, 2});
+    docs[1].benchJobs.push_back({"key-c", false, true, 6, 7, 2, 3, 5, 3});
+    return docs;
+}
+
+TEST(BenchRecordMerge, UnionsDeduplicatingIdenticalRecords)
+{
+    const auto merged = mergeBenchRecords(benchRecordDocs());
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].key, "key-a");
+    EXPECT_EQ(merged[1].key, "key-b");
+    EXPECT_EQ(merged[2].key, "key-c");
+    EXPECT_EQ(merged[1].ii, 5);
+    EXPECT_TRUE(merged[2].usedFallback);
+}
+
+TEST(BenchRecordMerge, RefusesConflictingRecordsForOneKey)
+{
+    std::vector<ShardDoc> docs = benchRecordDocs();
+    docs[1].benchJobs[0].ii = 99;  // Same key, different result.
+    try {
+        mergeBenchRecords(docs);
+        FAIL() << "accepted conflicting bench records";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("conflicting"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("key-b"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(BenchRecordMerge, ValidatesTheShardSetLikeMerge)
+{
+    std::vector<ShardDoc> docs = benchRecordDocs();
+    docs.pop_back();
+    EXPECT_THROW(mergeBenchRecords(docs), FatalError);
+
+    docs = benchRecordDocs();
+    docs[1].config = "other";
+    EXPECT_THROW(mergeBenchRecords(docs), FatalError);
 }
 
 TEST(ShardMerge, MergedRcIsTheOrOfRecordRcs)

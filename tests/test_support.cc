@@ -110,6 +110,31 @@ TEST(Strutil, Strprintf)
     EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
 }
 
+TEST(Strutil, ParseInt64InRangeCheckedParsing)
+{
+    long long v = -1;
+    EXPECT_TRUE(parseInt64InRange("42", 1, 100, v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt64InRange("1000000000000", 1, 1000000000000LL, v));
+    EXPECT_EQ(v, 1000000000000LL);
+
+    // Rejections never touch the output.
+    v = 7;
+    for (const char *bad : {"", "x", "12x", "x12", "1 2", " 12", "12 ",
+                            "0", "-3", "101", "9223372036854775808",
+                            "12.5", "+"}) {
+        EXPECT_FALSE(parseInt64InRange(bad, 1, 100, v)) << bad;
+        EXPECT_EQ(v, 7) << bad;
+    }
+}
+
+TEST(Strutil, StrCatConcatenatesMixedTypes)
+{
+    EXPECT_EQ(strCat("a", 1, "/", 2), "a1/2");
+    EXPECT_EQ(strCat(), "");
+    EXPECT_EQ(strCat(std::string("x"), 'y'), "xy");
+}
+
 TEST(Table, AlignsColumnsAndCountsRows)
 {
     Table t({"name", "value"});
