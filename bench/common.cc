@@ -531,7 +531,7 @@ initBenchArgs(int *argc, char ***argv, const std::string &benchName,
                 flagError(std::string("bad --loops count ") + text);
         } else if (!std::strcmp(arg, "--threads")) {
             const char *text = next(i, arg);
-            if (!parseIntInRange(text, 0, 4096, opts.threads))
+            if (!parseThreadsArg(text, opts.threads))
                 flagError(std::string("bad --threads count ") + text);
         } else if (!std::strcmp(arg, "--memo")) {
             const char *text = next(i, arg);
@@ -737,10 +737,13 @@ writeBenchJson(const std::string &benchName)
         const SingleFlightStats &b = ms.bounds;
         out << "  \"memo\": {\"cap\": " << opts.memoCap
             << ", \"shard\": " << jsonQuote(formatShardSpec(opts.shard))
+            << ", \"stripes\": " << suiteRunner().scheduleMemo().stripeCount()
             << ", \"requests\": " << s.requests << ", \"computes\": "
             << s.computes << ", \"entries\": " << s.entries
             << ", \"evictions\": " << s.evictions
-            << ",\n           \"bounds\": {\"requests\": " << b.requests
+            << ",\n           \"bounds\": {\"stripes\": "
+            << suiteRunner().boundsStripeCount()
+            << ", \"requests\": " << b.requests
             << ", \"computes\": " << b.computes << ", \"entries\": "
             << b.entries << ", \"evictions\": " << b.evictions
             << "}},\n";

@@ -38,8 +38,8 @@ namespace swp::benchutil
  *   --seed <n>       override the suite generator seed (default pinned
  *                    to kDefaultSuiteSeed for reproducibility)
  *   --loops <n>      generate an <n>-loop suite (default 1258)
- *   --threads <n>    evaluation worker threads (default 1; 0 = all
- *                    hardware threads). Results are deterministic:
+ *   --threads <n>    evaluation worker threads (default 1; 0 or "auto"
+ *                    = all hardware threads). Results are deterministic:
  *                    output is byte-identical at any thread count.
  *   --memo <0|1>     schedule memoization (default 1). Results are
  *                    byte-identical either way; 0 re-schedules every

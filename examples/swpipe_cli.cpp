@@ -53,9 +53,10 @@
  *   --suite N                     use the first N generated suite loops
  *   --seed S                      suite generator seed (default: the
  *                                 pinned kDefaultSuiteSeed)
- *   --threads N                   evaluation worker threads (default 1;
- *                                 0 = all hardware threads). Output is
- *                                 byte-identical at any thread count.
+ *   --threads N|auto              evaluation worker threads (default 1;
+ *                                 0 or "auto" = all hardware threads).
+ *                                 Output is byte-identical at any
+ *                                 thread count.
  *   --memo 0|1                    schedule memoization (default 1);
  *                                 output is byte-identical either way
  *   --memo-cap N                  LRU size cap on the schedule memo
@@ -282,7 +283,7 @@ parseArgs(int argc, char **argv)
             seedSet = true;
         } else if (!std::strcmp(arg, "--threads")) {
             const char *text = nextArg(argc, argv, i, arg);
-            if (!parseIntInRange(text, 0, 4096, opts.threads))
+            if (!parseThreadsArg(text, opts.threads))
                 usageError(std::string("bad --threads count ") + text);
         } else if (!std::strcmp(arg, "--memo")) {
             const char *text = nextArg(argc, argv, i, arg);

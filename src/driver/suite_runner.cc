@@ -1,12 +1,15 @@
 #include "driver/suite_runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 
 #include "sched/fingerprint.hh"
 #include "sched/ii_search.hh"
 #include "sched/mii.hh"
+#include "support/arena.hh"
 #include "support/diag.hh"
+#include "support/strutil.hh"
 #include "verify/legality.hh"
 
 namespace swp
@@ -36,6 +39,16 @@ parseChunkPolicy(const std::string &text, ChunkPolicy &out)
     return false;
 }
 
+bool
+parseThreadsArg(const std::string &text, int &out)
+{
+    if (text == "auto") {
+        out = 0;
+        return true;
+    }
+    return parseIntInRange(text, 0, 4096, out);
+}
+
 namespace
 {
 
@@ -53,20 +66,45 @@ struct TaskScope
     ~TaskScope() { --tlsInTask; }
 };
 
+/** The perf slot of the task this thread is currently working on (0
+    outside any task, which is also the dispatching caller's slot). */
+thread_local std::size_t tlsWorkerSlot = 0;
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+int
+resolveThreadCount(int threads)
+{
+    if (threads > 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? int(hw) : 1;
+}
+
 } // namespace
+
+std::atomic<unsigned> SuiteRunner::claimJitter_{0};
+
+void
+SuiteRunner::setClaimJitterForTesting(unsigned seed)
+{
+    claimJitter_.store(seed, std::memory_order_relaxed);
+}
 
 SuiteRunner::SuiteRunner(int threads, bool memoizeSchedules,
                          std::size_t memoCap)
-    : memoizeSchedules_(memoizeSchedules),
-      boundsCache_(memoCap),
-      scheduleMemo_(kVerifyMemoKeys, memoCap)
+    : threads_(resolveThreadCount(threads)),
+      memoizeSchedules_(memoizeSchedules),
+      boundsCache_(memoCap, threads_),
+      scheduleMemo_(kVerifyMemoKeys, memoCap, threads_),
+      perf_(std::size_t(threads_))
 {
-    if (threads <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads_ = hw ? int(hw) : 1;
-    } else {
-        threads_ = threads;
-    }
 }
 
 SuiteRunner::~SuiteRunner()
@@ -127,29 +165,97 @@ SuiteRunner::ensurePool() const
 }
 
 /**
+ * Take the next chunk for worker `self`: own deque front first
+ * (heaviest remaining of its share), then the back of the next
+ * non-empty victim, scanning from self+1. Chunks are never re-inserted
+ * after seeding, so a fully-empty scan means the batch is claimed and
+ * the worker can retire. The whole hunt is billed to perf.stealSeconds.
+ */
+bool
+SuiteRunner::claim(PoolTask &t, std::size_t self, PoolTask::Range &out,
+                   WorkerPerf &perf) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Test hook: perturb who wins each race so the determinism test
+    // can explore many interleavings (a no-op when unset).
+    const unsigned jitterSeed = claimJitter_.load(std::memory_order_relaxed);
+    if (jitterSeed != 0) {
+        thread_local unsigned state = 0;
+        state = state * 1664525u + 1013904223u + jitterSeed +
+                unsigned(self);
+        volatile unsigned sink = 0;
+        for (unsigned i = 0, n = state % 2048u; i < n; ++i)
+            sink += i;
+        (void)sink;
+    }
+
+    bool ok = false;
+    bool stolen = false;
+    {
+        PoolTask::Queue &own = t.queues[self];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.chunks.empty()) {
+            out = own.chunks.front();
+            own.chunks.pop_front();
+            ok = true;
+        }
+    }
+    for (std::size_t k = 1; !ok && k < t.queueCount; ++k) {
+        PoolTask::Queue &victim = t.queues[(self + k) % t.queueCount];
+        std::lock_guard<std::mutex> lock(victim.m);
+        if (!victim.chunks.empty()) {
+            out = victim.chunks.back();
+            victim.chunks.pop_back();
+            ok = stolen = true;
+        }
+    }
+
+    perf.stealSeconds += secondsSince(start);
+    if (ok) {
+        ++perf.claims;
+        if (stolen)
+            ++perf.steals;
+    }
+    return ok;
+}
+
+/**
  * Body run by every thread participating in a task (pool threads and
- * the dispatching caller alike): build per-thread state, then consume
- * chunks of indices from the shared counter until they run out or a
- * job fails.
+ * the dispatching caller alike): take a worker slot, build per-thread
+ * state, then consume chunks from the work-stealing deques until they
+ * run dry or a job fails.
  */
 void
-SuiteRunner::runTask(PoolTask &t)
+SuiteRunner::runTask(PoolTask &t) const
 {
-    // Claim a chunk before building any per-thread state. This bounds
-    // the participants to the chunk count (a pool thread waking for a
-    // batch smaller than the pool backs out after one fetch_add instead
-    // of constructing scheduler objects it will never use), and it
-    // protects makeWorker's lifetime: a thread that cannot claim a
-    // chunk never touches makeWorker — whose captures are locals of the
-    // dispatching caller, which only returns once it has observed
-    // next >= count and activeWorkers_ == 0.
     if (t.abort.load(std::memory_order_relaxed))
         return;
-    const std::size_t chunk = t.chunk;
-    std::size_t base = t.next.fetch_add(chunk, std::memory_order_relaxed);
-    if (base >= t.count)
+    // Arrival order assigns each participant a deque. More participants
+    // than deques cannot happen (the pool holds threads_ - 1 threads
+    // and the dispatching caller is the last worker), but the modulo
+    // keeps a straggler correct regardless: deques are mutex-guarded,
+    // so sharing one merely shares its work.
+    const std::size_t self =
+        t.nextSlot.fetch_add(1, std::memory_order_relaxed) % t.queueCount;
+
+    WorkerPerf perf;
+    PoolTask::Range r;
+    // Claim a chunk before building any per-thread state. This bounds
+    // the participants to the chunk count (a pool thread waking for a
+    // batch smaller than the pool backs out after one empty hunt
+    // instead of constructing scheduler objects it will never use), and
+    // it protects makeWorker's lifetime: a thread that cannot claim a
+    // chunk never touches makeWorker — whose captures are locals of the
+    // dispatching caller, which only returns once it has observed
+    // every deque drained and activeWorkers_ == 0.
+    if (!claim(t, self, r, perf)) {
+        flushPerf(self, perf);
         return;
+    }
     const TaskScope scope;
+    const std::size_t prevSlot = tlsWorkerSlot;
+    tlsWorkerSlot = self;
     // makeWorker() runs on the worker thread too (it allocates
     // per-thread state); a throw there must reach the caller, not
     // std::terminate.
@@ -158,23 +264,74 @@ SuiteRunner::runTask(PoolTask &t)
         fn = (*t.makeWorker)();
     } catch (...) {
         t.fail();
+        tlsWorkerSlot = prevSlot;
         return;
     }
-    for (;;) {
-        const std::size_t end = std::min(base + chunk, t.count);
-        for (std::size_t i = base; i < end; ++i) {
-            if (t.abort.load(std::memory_order_relaxed))
-                return;
+    bool aborted = false;
+    do {
+        for (std::size_t i = r.first; i < r.second; ++i) {
+            if (t.abort.load(std::memory_order_relaxed)) {
+                aborted = true;
+                break;
+            }
+            const double wait0 = singleFlightWaitSeconds();
+            const auto start = std::chrono::steady_clock::now();
             try {
                 fn(i);
             } catch (...) {
                 t.fail();
             }
+            const double elapsed = secondsSince(start);
+            const double waited = singleFlightWaitSeconds() - wait0;
+            perf.memoWaitSeconds += waited;
+            perf.scheduleSeconds +=
+                elapsed > waited ? elapsed - waited : 0.0;
+            ++perf.jobs;
         }
-        base = t.next.fetch_add(chunk, std::memory_order_relaxed);
-        if (base >= t.count)
-            return;
-    }
+    } while (!aborted && claim(t, self, r, perf));
+    // fn (and the per-thread state it owns, e.g. the worker's arena)
+    // dies before the perf flush so arena high-water notes land first.
+    fn = nullptr;
+    flushPerf(self, perf);
+    tlsWorkerSlot = prevSlot;
+}
+
+void
+SuiteRunner::flushPerf(std::size_t slot, const WorkerPerf &perf) const
+{
+    std::lock_guard<std::mutex> lock(perfMutex_);
+    WorkerPerf &w = perf_[slot % perf_.size()];
+    w.scheduleSeconds += perf.scheduleSeconds;
+    w.memoWaitSeconds += perf.memoWaitSeconds;
+    w.stealSeconds += perf.stealSeconds;
+    w.jobs += perf.jobs;
+    w.claims += perf.claims;
+    w.steals += perf.steals;
+    if (perf.arenaHighWaterBytes > w.arenaHighWaterBytes)
+        w.arenaHighWaterBytes = perf.arenaHighWaterBytes;
+}
+
+void
+SuiteRunner::noteArenaHighWater(std::size_t bytes) const
+{
+    std::lock_guard<std::mutex> lock(perfMutex_);
+    WorkerPerf &w = perf_[tlsWorkerSlot % perf_.size()];
+    if (bytes > w.arenaHighWaterBytes)
+        w.arenaHighWaterBytes = bytes;
+}
+
+std::vector<WorkerPerf>
+SuiteRunner::workerPerf() const
+{
+    std::lock_guard<std::mutex> lock(perfMutex_);
+    return perf_;
+}
+
+void
+SuiteRunner::resetWorkerPerf()
+{
+    std::lock_guard<std::mutex> lock(perfMutex_);
+    perf_.assign(perf_.size(), WorkerPerf{});
 }
 
 void
@@ -210,11 +367,28 @@ SuiteRunner::dispatch(std::size_t count,
     // Serial path: a single thread, a single job, or a dispatch nested
     // inside a pool task (which would deadlock waiting for the slot its
     // own batch holds) runs inline on the calling thread — same
-    // results, no parallel speedup.
+    // results, no parallel speedup. Nested dispatches skip the perf
+    // accounting: their time is already inside the enclosing job's.
     if (threads_ == 1 || count == 1 || tlsInTask > 0) {
         const Worker fn = makeWorker();
-        for (std::size_t i = 0; i < count; ++i)
+        if (tlsInTask > 0) {
+            for (std::size_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+        WorkerPerf perf;
+        for (std::size_t i = 0; i < count; ++i) {
+            const double wait0 = singleFlightWaitSeconds();
+            const auto start = std::chrono::steady_clock::now();
             fn(i);
+            const double elapsed = secondsSince(start);
+            const double waited = singleFlightWaitSeconds() - wait0;
+            perf.memoWaitSeconds += waited;
+            perf.scheduleSeconds +=
+                elapsed > waited ? elapsed - waited : 0.0;
+            ++perf.jobs;
+        }
+        flushPerf(0, perf);
         return;
     }
 
@@ -227,6 +401,21 @@ SuiteRunner::dispatch(std::size_t count,
     task->count = count;
     task->chunk = chunk ? chunk : 1;
     task->makeWorker = &makeWorker;
+    // Deal the chunks round-robin across one deque per worker, in plan
+    // order: fronts get the heaviest work (planJobOrder ranks the index
+    // space heaviest-first under ChunkPolicy::Auto), backs the light
+    // tail that thieves migrate. Seeding happens before the task is
+    // published, so no lock is needed yet.
+    task->queueCount = std::size_t(threads_);
+    task->queues.reset(new PoolTask::Queue[task->queueCount]);
+    {
+        std::size_t q = 0;
+        for (std::size_t base = 0; base < count; base += task->chunk) {
+            task->queues[q].chunks.push_back(
+                {base, std::min(base + task->chunk, count)});
+            q = (q + 1) % task->queueCount;
+        }
+    }
     {
         std::lock_guard<std::mutex> lock(poolMutex_);
         task_ = task;
@@ -335,7 +524,7 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
 
     // Heaviest-first ordering balances by starting long jobs early, so
     // it wants the finest claiming grain; fixed-policy batches trade
-    // balance for fewer claims on the shared counter.
+    // balance for fewer deque claims.
     const std::size_t chunk =
         opts.chunk == ChunkPolicy::Auto
             ? 1
@@ -354,18 +543,25 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
         [&]() -> Worker {
             // Per-worker scheduler objects, reused across every job
             // this worker executes (shared_ptr so the returned closure
-            // owns them).
+            // owns them). The worker's arena backs each job's transient
+            // buffers and is rewound between jobs; its deleter reports
+            // the high-water mark into this worker's perf slot.
             std::shared_ptr<ModuloScheduler> hrms =
                 makeScheduler(SchedulerKind::Hrms);
             std::shared_ptr<ModuloScheduler> ims =
                 makeScheduler(SchedulerKind::Ims);
+            std::shared_ptr<Arena> arena(new Arena, [this](Arena *a) {
+                noteArenaHighWater(a->stats().highWaterBytes);
+                delete a;
+            });
             return [this, &suite, &m, &jobs, &results, &order, verify,
-                    certify, certOut, hrms, ims](std::size_t k) {
+                    certify, certOut, hrms, ims, arena](std::size_t k) {
                 const std::size_t i = order[k];
                 const BatchJob &job = jobs[i];
                 const Ddg &g = suite[std::size_t(job.loop)].graph;
                 const LoopBounds b = bounds(g, m);
 
+                arena->reset();
                 EvalContext ctx;
                 const SchedulerKind kind = job.options.scheduler;
                 ctx.scheduler =
@@ -373,6 +569,7 @@ SuiteRunner::run(const std::vector<SuiteLoop> &suite, const Machine &m,
                 ctx.imsFallback = ims.get();
                 ctx.knownMii = b.mii;
                 ctx.memo = memoizeSchedules_ ? &scheduleMemo_ : nullptr;
+                ctx.arena = arena.get();
 
                 results[i] = job.ideal
                                  ? pipelineIdeal(g, m, kind, &ctx)
@@ -444,6 +641,68 @@ simulateWorkerLoads(const std::vector<double> &costs,
         for (std::size_t k = base; k < end; ++k)
             sum += costs[order[k]];
         load[std::size_t(slot.second)] += sum;
+        free.push({slot.first + sum, slot.second});
+    }
+    return load;
+}
+
+std::vector<double>
+simulateWorkerLoadsStealing(const std::vector<double> &costs,
+                            const std::vector<std::size_t> &order,
+                            int workers, std::size_t chunk)
+{
+    SWP_ASSERT(workers >= 1,
+               "simulateWorkerLoadsStealing needs >= 1 worker");
+    SWP_ASSERT(chunk >= 1,
+               "simulateWorkerLoadsStealing needs chunk >= 1");
+    const std::size_t w = std::size_t(workers);
+
+    // Seed exactly like dispatch(): round-robin chunk ranges, fronts
+    // heaviest (plan order), backs the light tail.
+    using Range = std::pair<std::size_t, std::size_t>;
+    std::vector<std::deque<Range>> queues(w);
+    {
+        std::size_t q = 0;
+        for (std::size_t base = 0; base < order.size(); base += chunk) {
+            queues[q].push_back(
+                {base, std::min(base + chunk, order.size())});
+            q = (q + 1) % w;
+        }
+    }
+
+    std::vector<double> load(w, 0.0);
+    // Event model: the earliest-free worker claims next (ties broken by
+    // worker index, like the priority queue in the static model); a
+    // worker that finds every deque empty retires.
+    using Slot = std::pair<double, int>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> free;
+    for (int i = 0; i < workers; ++i)
+        free.push({0.0, i});
+    while (!free.empty()) {
+        const Slot slot = free.top();
+        free.pop();
+        const std::size_t self = std::size_t(slot.second);
+        Range r{0, 0};
+        bool ok = false;
+        if (!queues[self].empty()) {
+            r = queues[self].front();
+            queues[self].pop_front();
+            ok = true;
+        }
+        for (std::size_t k = 1; !ok && k < w; ++k) {
+            std::deque<Range> &victim = queues[(self + k) % w];
+            if (!victim.empty()) {
+                r = victim.back();
+                victim.pop_back();
+                ok = true;
+            }
+        }
+        if (!ok)
+            continue; // Retire: chunks are never re-inserted.
+        double sum = 0;
+        for (std::size_t k = r.first; k < r.second; ++k)
+            sum += costs[order[k]];
+        load[self] += sum;
         free.push({slot.first + sum, slot.second});
     }
     return load;

@@ -39,9 +39,15 @@
  * default ChunkPolicy::Auto the grid is walked heaviest-first, ranked
  * by a cheap cost estimate (node count x candidate-II span), so a
  * heavy loop starts early instead of serializing one worker at the
- * batch's tail. Ordering and chunking only change *when* a job runs,
- * never its result or its slot, so output stays byte-identical at any
- * thread count, shard spec, and chunk policy.
+ * batch's tail. Claiming is work-stealing: the planned order is dealt
+ * round-robin into per-worker chunk deques, each worker pops its own
+ * deque from the front (heaviest first) and an idle worker steals from
+ * the *back* of a victim's deque (the lightest remaining work, the
+ * cheapest to migrate) — so no claim ever touches a shared counter and
+ * the tail of a batch self-balances. Ordering, chunking and stealing
+ * only change *when* a job runs, never its result or its slot, so
+ * output stays byte-identical at any thread count, shard spec, and
+ * chunk policy.
  */
 
 #ifndef SWP_DRIVER_SUITE_RUNNER_HH
@@ -51,6 +57,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -95,9 +102,8 @@ enum class ChunkPolicy
     Auto,
 
     /**
-     * Grid order, claimed in fixed contiguous chunks — fewer claims on
-     * the shared counter, no cost ranking. The historical behavior
-     * with chunk size 1.
+     * Grid order, claimed in fixed contiguous chunks — fewer claims,
+     * no cost ranking. The historical behavior with chunk size 1.
      */
     Fixed,
 };
@@ -107,6 +113,34 @@ const char *chunkPolicyName(ChunkPolicy policy);
 
 /** Parse "auto" or "fixed"; false (out untouched) otherwise. */
 bool parseChunkPolicy(const std::string &text, ChunkPolicy &out);
+
+/**
+ * Parse a --threads value: "auto" resolves to all hardware threads
+ * (SuiteRunner's threads == 0 convention) and an integer in [0, 4096]
+ * is taken literally. False (out untouched) otherwise. Shared by
+ * swpipe_cli and every bench harness so "auto" means the same thing
+ * everywhere.
+ */
+bool parseThreadsArg(const std::string &text, int &out);
+
+/**
+ * Per-worker wall-time breakdown, maintained by the pool from
+ * monotonic-clock deltas. scheduleSeconds is time inside jobs minus
+ * the memo waits that happened during them (singleFlightWaitSeconds),
+ * so the three buckets answer "is the pool scheduling, waiting on the
+ * memos, or hunting for work?". Observability only (stderr/JSON): no
+ * result bytes ever depend on these numbers.
+ */
+struct WorkerPerf
+{
+    double scheduleSeconds = 0;  ///< Executing jobs, memo waits excluded.
+    double memoWaitSeconds = 0;  ///< Blocked on another worker's compute.
+    double stealSeconds = 0;     ///< Claiming work (own pops and steals).
+    long jobs = 0;               ///< Jobs executed.
+    long claims = 0;             ///< Chunks claimed (own + stolen).
+    long steals = 0;             ///< Chunks taken from a victim's deque.
+    std::size_t arenaHighWaterBytes = 0;  ///< Max live arena bytes.
+};
 
 /** Per-run evaluation options; the defaults reproduce run(3 args). */
 struct RunOptions
@@ -194,7 +228,14 @@ class SuiteRunner
     /** The shared probe memo (for tests and observability). */
     ScheduleMemo &scheduleMemo() { return scheduleMemo_; }
 
-    /** Counters of both memos, for tests and tuning. */
+    /** Lock stripes backing the bounds memo. */
+    std::size_t boundsStripeCount() const
+    {
+        return boundsCache_.stripeCount();
+    }
+
+    /** Counters of both memos, for tests and tuning. Each memo's
+        counters are one consistent cross-stripe snapshot. */
     struct MemoStats
     {
         SingleFlightStats bounds;
@@ -205,6 +246,23 @@ class SuiteRunner
     {
         return {boundsCache_.stats(), scheduleMemo_.stats()};
     }
+
+    /**
+     * Snapshot of the per-worker counters accumulated since
+     * construction or the last resetWorkerPerf(); slot w belongs to the
+     * w-th participant of each batch (slot 0 includes the dispatching
+     * caller and all serial-path work).
+     */
+    std::vector<WorkerPerf> workerPerf() const;
+    void resetWorkerPerf();
+
+    /**
+     * Test-only: when seed != 0 every chunk claim spins a small
+     * pseudo-random amount first, perturbing the steal interleaving so
+     * determinism tests can explore many schedules. Global (affects
+     * every runner); reset to 0 after use.
+     */
+    static void setClaimJitterForTesting(unsigned seed);
 
     /**
      * Evaluate all jobs. results[i] corresponds to jobs[i]; the result
@@ -266,19 +324,38 @@ class SuiteRunner
     /**
      * Pool skeleton: makeWorker() is invoked once per participating
      * thread (to build per-thread state such as scheduler objects); the
-     * returned callable is then fed indices from a shared counter.
+     * returned callable is then fed indices claimed from the task's
+     * work-stealing deques.
      */
     using Worker = std::function<void(std::size_t)>;
 
     /** One batch in flight on the persistent pool. */
     struct PoolTask
     {
+        /** One claimed span of job indices: [first, second). */
+        using Range = std::pair<std::size_t, std::size_t>;
+
+        /** One worker's chunk deque: the owner pops the front, idle
+            thieves pop the back. Chunks are only ever removed after
+            seeding, so "every deque empty" means the batch is fully
+            claimed. */
+        struct Queue
+        {
+            std::mutex m;
+            std::deque<Range> chunks;
+        };
+
         std::size_t count = 0;
-        /** Indices claimed per fetch on the shared counter. */
         std::size_t chunk = 1;
         /** Owned by the dispatching caller; valid while it waits. */
         const std::function<Worker()> *makeWorker = nullptr;
-        std::atomic<std::size_t> next{0};
+        /** Per-worker deques, seeded round-robin in plan order before
+            the task is published (so the k-heaviest chunks sit at the
+            fronts and the light tail at the backs). */
+        std::unique_ptr<Queue[]> queues;
+        std::size_t queueCount = 0;
+        /** Arrival-order worker slots (deque ownership + perf slot). */
+        std::atomic<std::size_t> nextSlot{0};
         std::atomic<bool> abort{false};
         std::mutex errorMutex;
         std::exception_ptr error;
@@ -300,7 +377,11 @@ class SuiteRunner
                   std::size_t chunk = 1) const;
     void ensurePool() const;
     void poolMain() const;
-    static void runTask(PoolTask &t);
+    void runTask(PoolTask &t) const;
+    bool claim(PoolTask &t, std::size_t self, PoolTask::Range &out,
+               WorkerPerf &perf) const;
+    void flushPerf(std::size_t slot, const WorkerPerf &perf) const;
+    void noteArenaHighWater(std::size_t bytes) const;
 
     int threads_ = 1;
     bool memoizeSchedules_ = true;
@@ -313,11 +394,19 @@ class SuiteRunner
         std::optional<Ddg> graph;
         std::optional<Machine> machine;
     };
-    SingleFlightCache<std::pair<std::uint64_t, std::uint64_t>,
-                      CachedBounds>
+    StripedSingleFlightCache<std::pair<std::uint64_t, std::uint64_t>,
+                             CachedBounds>
         boundsCache_;
 
     ScheduleMemo scheduleMemo_;
+
+    /** Per-worker counters (slot per pool participant), merged by the
+        workers as they finish a task. */
+    mutable std::mutex perfMutex_;
+    mutable std::vector<WorkerPerf> perf_;
+
+    /** Claim-path jitter for the determinism tests (0 = off). */
+    static std::atomic<unsigned> claimJitter_;
 
     /** @name Persistent worker pool (threads_ - 1 threads; the
         dispatching caller is the final worker). Spawned on first
@@ -336,17 +425,31 @@ class SuiteRunner
 };
 
 /**
- * Simulate the pool's claiming discipline: `workers` greedy workers
- * consume `order` left to right, `chunk` indices per claim, each job
- * costing costs[order[k]]; returns each worker's total simulated busy
- * time. This is the model behind the chunk-policy property tests —
- * it lets the load-balance claim ("heaviest-first ordering shrinks the
- * makespan of a heavy-tailed grid") be asserted deterministically,
- * without racing real threads.
+ * Simulate a shared-counter claiming discipline: `workers` greedy
+ * workers consume `order` left to right, `chunk` indices per claim,
+ * each job costing costs[order[k]]; returns each worker's total
+ * simulated busy time. This is the model behind the chunk-policy
+ * property tests — it lets the load-balance claim ("heaviest-first
+ * ordering shrinks the makespan of a heavy-tailed grid") be asserted
+ * deterministically, without racing real threads.
  */
 std::vector<double> simulateWorkerLoads(const std::vector<double> &costs,
                                         const std::vector<std::size_t> &order,
                                         int workers, std::size_t chunk);
+
+/**
+ * Simulate the pool's actual work-stealing discipline: chunks of
+ * `order` are dealt round-robin into per-worker deques, each worker
+ * pops its own front and an idle worker steals the back of the next
+ * non-empty victim (scanning from its own slot). Returns each worker's
+ * total simulated busy time; same model as runTask, so the makespan
+ * property tests can compare static, chunked and stealing claiming on
+ * one footing.
+ */
+std::vector<double>
+simulateWorkerLoadsStealing(const std::vector<double> &costs,
+                            const std::vector<std::size_t> &order,
+                            int workers, std::size_t chunk);
 
 } // namespace swp
 

@@ -46,6 +46,11 @@ namespace swp
  * the harnesses) for long-lived services: an evicted probe is simply
  * re-scheduled on its next request, so results are byte-identical at
  * any cap, and the stats() eviction counter reports the churn.
+ *
+ * The backing store is striped by key fingerprint (threadsHint sizes
+ * the stripe array) so a full worker pool hammering the memo doesn't
+ * serialize on one mutex; stats() aggregates the stripes under one
+ * consistent snapshot.
  */
 class ScheduleMemo
 {
@@ -53,13 +58,16 @@ class ScheduleMemo
     using Stats = SingleFlightStats;
 
     explicit ScheduleMemo(bool verifyKeys = kVerifyMemoKeys,
-                          std::size_t capacity = 0)
-        : verifyKeys_(verifyKeys), cache_(capacity)
+                          std::size_t capacity = 0, int threadsHint = 1)
+        : verifyKeys_(verifyKeys), cache_(capacity, threadsHint)
     {
     }
 
     /** The LRU size cap (0 = unbounded). */
     std::size_t capacity() const { return cache_.capacity(); }
+
+    /** How many lock stripes back the memo. */
+    std::size_t stripeCount() const { return cache_.stripeCount(); }
 
     /**
      * inner.scheduleAt(g, m, ii), memoized. The first caller of a key
@@ -90,7 +98,7 @@ class ScheduleMemo
     };
 
     bool verifyKeys_;
-    SingleFlightCache<Key, CachedProbe> cache_;
+    StripedSingleFlightCache<Key, CachedProbe> cache_;
 };
 
 /**

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A per-worker bump allocator for per-job transients.
+ *
+ * Each pool worker of the batch driver owns one Arena and resets it
+ * between jobs: the transient buffers a job needs (spill working sets,
+ * candidate lists, render buffers) are bump-allocated out of a few
+ * retained blocks instead of hitting the global allocator — and, more
+ * importantly under a full pool, instead of hitting the global
+ * allocator's *locks*. reset() is O(blocks): it rewinds the bump
+ * cursors and keeps the blocks, so a warmed worker stops allocating
+ * entirely once its largest job has sized the arena.
+ *
+ * Not thread-safe by design — an Arena belongs to exactly one worker.
+ * Trivially-destructible payloads only: reset() never runs destructors
+ * (ArenaAllocator enforces this at compile time for containers).
+ */
+
+#ifndef SWP_SUPPORT_ARENA_HH
+#define SWP_SUPPORT_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace swp
+{
+
+class Arena
+{
+  public:
+    /** Usage counters; highWaterBytes is the max live-at-once total. */
+    struct Stats
+    {
+        std::size_t bytesInUse = 0;    ///< Live since the last reset().
+        std::size_t highWaterBytes = 0;
+        std::size_t blockBytes = 0;    ///< Total capacity retained.
+        std::size_t blocks = 0;
+        std::size_t allocations = 0;   ///< allocate() calls, lifetime.
+        std::size_t resets = 0;
+    };
+
+    explicit Arena(std::size_t minBlockBytes = 64 * 1024)
+        : minBlockBytes_(minBlockBytes < 64 ? 64 : minBlockBytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Raw bytes with the given alignment (power of two). */
+    void *
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        ++allocations_;
+        if (bytes == 0)
+            bytes = 1;
+        while (current_ < blocks_.size()) {
+            Block &b = blocks_[current_];
+            const std::size_t aligned = (b.used + align - 1) & ~(align - 1);
+            if (aligned + bytes <= b.size) {
+                b.used = aligned + bytes;
+                bump(bytes);
+                return b.data.get() + aligned;
+            }
+            // The next retained block starts empty; oversized requests
+            // fall through until a fresh block is sized to fit.
+            if (current_ + 1 >= blocks_.size())
+                break;
+            ++current_;
+        }
+        const std::size_t size =
+            bytes + align > minBlockBytes_ ? bytes + align : minBlockBytes_;
+        blocks_.push_back(Block{std::unique_ptr<char[]>(new char[size]),
+                                size, 0});
+        blockBytes_ += size;
+        current_ = blocks_.size() - 1;
+        Block &b = blocks_.back();
+        // new[] returns max_align storage; realign defensively anyway.
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(b.data.get());
+        const std::size_t aligned = std::size_t(
+            ((base + align - 1) & ~(std::uintptr_t(align) - 1)) - base);
+        b.used = aligned + bytes;
+        bump(bytes);
+        return b.data.get() + aligned;
+    }
+
+    /** n default-constructible Ts (uninitialized storage for trivial T). */
+    template <typename T>
+    T *
+    allocate(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible<T>::value,
+                      "Arena::reset never runs destructors");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Rewind every block; retains the memory for the next job. */
+    void
+    reset()
+    {
+        for (Block &b : blocks_)
+            b.used = 0;
+        current_ = 0;
+        bytesInUse_ = 0;
+        ++resets_;
+    }
+
+    Stats
+    stats() const
+    {
+        return {bytesInUse_, highWater_, blockBytes_, blocks_.size(),
+                allocations_, resets_};
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<char[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    void
+    bump(std::size_t bytes)
+    {
+        bytesInUse_ += bytes;
+        if (bytesInUse_ > highWater_)
+            highWater_ = bytesInUse_;
+    }
+
+    std::size_t minBlockBytes_;
+    std::vector<Block> blocks_;
+    std::size_t current_ = 0;
+    std::size_t bytesInUse_ = 0;
+    std::size_t highWater_ = 0;
+    std::size_t blockBytes_ = 0;
+    std::size_t allocations_ = 0;
+    std::size_t resets_ = 0;
+};
+
+/**
+ * std allocator adaptor so standard containers can live in an Arena:
+ *
+ *   ArenaVector<int> v(ArenaAllocator<int>(arena));
+ *
+ * deallocate() is a no-op (the arena reclaims on reset), so container
+ * growth leaks the old buffer into the arena until the next reset —
+ * reserve() ahead where the size is known.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena &arena) : arena_(&arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) : arena_(other.arena())
+    {
+    }
+
+    T *allocate(std::size_t n) { return arena_->template allocate<T>(n); }
+    void deallocate(T *, std::size_t) {}
+
+    Arena *arena() const { return arena_; }
+
+    template <typename U>
+    bool operator==(const ArenaAllocator<U> &o) const
+    {
+        return arena_ == o.arena();
+    }
+    template <typename U>
+    bool operator!=(const ArenaAllocator<U> &o) const
+    {
+        return arena_ != o.arena();
+    }
+
+  private:
+    Arena *arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_ARENA_HH

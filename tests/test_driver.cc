@@ -602,6 +602,195 @@ TEST(SuiteRunner, BoundsMemoHonorsTheCapToo)
     }
 }
 
+TEST(SuiteRunner, StripedMemosStayByteIdenticalAcrossThreadCounts)
+{
+    // The striping regression: both memos stripe by thread count (and
+    // clamp to the cap), yet every result matches the serial run,
+    // capped or not, and the aggregated stripe stats still satisfy the
+    // flat cache's single-flight accounting invariant.
+    const std::vector<SuiteLoop> suite = testSuite(16);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner serial(1, true);
+    SuiteRunner pooled(8, true);
+    SuiteRunner capped(8, true, 8);
+
+    // next-pow2(2 x threads); the 8-entry cap clamps to 8 stripes of 1.
+    EXPECT_EQ(serial.scheduleMemo().stripeCount(), 2u);
+    EXPECT_EQ(pooled.scheduleMemo().stripeCount(), 16u);
+    EXPECT_EQ(capped.scheduleMemo().stripeCount(), 8u);
+    EXPECT_EQ(serial.boundsStripeCount(), 2u);
+    EXPECT_EQ(pooled.boundsStripeCount(), 16u);
+    EXPECT_EQ(capped.boundsStripeCount(), 8u);
+
+    const auto a = serial.run(suite, m, jobs);
+    const auto b = pooled.run(suite, m, jobs);
+    const auto c = capped.run(suite, m, jobs);
+    ASSERT_EQ(a.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expectIdenticalResults(a[i], b[i], i);
+        expectIdenticalResults(a[i], c[i], i);
+    }
+
+    const SingleFlightStats full = pooled.memoStats().schedule;
+    EXPECT_EQ(full.evictions, 0);
+    EXPECT_EQ(full.computes, full.entries + full.evictions);
+
+    const SingleFlightStats cap = capped.memoStats().schedule;
+    EXPECT_LE(cap.entries, 8);
+    EXPECT_GT(cap.evictions, 0);
+    EXPECT_EQ(cap.computes, cap.entries + cap.evictions)
+        << "striping broke the single-flight accounting";
+    const SingleFlightStats capBounds = capped.memoStats().bounds;
+    EXPECT_EQ(capBounds.computes, capBounds.entries + capBounds.evictions);
+}
+
+TEST(SuiteRunner, WorkStealingDeterministicAcrossInterleavings)
+{
+    // Results must not depend on which worker claims or steals which
+    // chunk. The jitter hook perturbs every claim with a seeded spin,
+    // forcing 20 different steal interleavings; all must match the
+    // serial run byte-for-byte.
+    const std::vector<SuiteLoop> suite = testSuite(10);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    SuiteRunner serial(1);
+    const auto baseline = serial.run(suite, m, jobs);
+
+    for (unsigned seed = 1; seed <= 20; ++seed) {
+        SuiteRunner::setClaimJitterForTesting(seed);
+        SuiteRunner pooled(8);
+        const auto results = pooled.run(suite, m, jobs);
+        ASSERT_EQ(results.size(), baseline.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < results.size(); ++i)
+            expectIdenticalResults(baseline[i], results[i], i);
+    }
+    SuiteRunner::setClaimJitterForTesting(0);
+}
+
+TEST(SuiteRunner, StealingModelBeatsStaticPartitionAndConservesWork)
+{
+    // The load-balance claim behind work-stealing, on the same
+    // heavy-tailed grid as the claiming-discipline test: with the
+    // heavy chunk seeded to one worker's deque, the idle workers
+    // drain its remaining chunks from the back, so the makespan drops
+    // to the heavy chunk itself instead of a whole static partition.
+    const int workers = 4;
+    std::vector<double> costs(64, 1.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        costs[i] = 40.0; // Heavy head (plan order is heaviest-first).
+
+    std::vector<std::size_t> heavyFirst(costs.size());
+    std::iota(heavyFirst.begin(), heavyFirst.end(), 0);
+    std::vector<std::size_t> heavyLast(heavyFirst.rbegin(),
+                                       heavyFirst.rend());
+
+    const auto makespan = [](const std::vector<double> &loads) {
+        return *std::max_element(loads.begin(), loads.end());
+    };
+    const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+
+    // Static partitioning: grid order, one ceil(n/workers) block each.
+    const std::size_t block =
+        (costs.size() + std::size_t(workers) - 1) / std::size_t(workers);
+    const std::vector<double> staticLoads =
+        simulateWorkerLoads(costs, heavyLast, workers, block);
+
+    const std::vector<double> stealing =
+        simulateWorkerLoadsStealing(costs, heavyFirst, workers, 4);
+    EXPECT_LT(makespan(stealing), makespan(staticLoads));
+
+    // Heaviest-first seeding matters for stealing too: a heavy chunk
+    // buried at the back of its owner's deque is claimed too late for
+    // anyone to help with it.
+    const std::vector<double> buried =
+        simulateWorkerLoadsStealing(costs, heavyLast, workers, 4);
+    EXPECT_LT(makespan(stealing), makespan(buried));
+
+    // Every discipline executes all the work exactly once, at any
+    // worker count and chunking grain.
+    EXPECT_DOUBLE_EQ(
+        std::accumulate(staticLoads.begin(), staticLoads.end(), 0.0),
+        total);
+    for (const int w : {1, 2, 4, 7}) {
+        for (const std::size_t chunk : {std::size_t(1), std::size_t(3),
+                                        std::size_t(16), block}) {
+            const std::vector<double> loads =
+                simulateWorkerLoadsStealing(costs, heavyFirst, w, chunk);
+            EXPECT_DOUBLE_EQ(
+                std::accumulate(loads.begin(), loads.end(), 0.0), total)
+                << "workers " << w << " chunk " << chunk;
+        }
+    }
+
+    // One worker degenerates to the serial sum.
+    const std::vector<double> solo =
+        simulateWorkerLoadsStealing(costs, heavyFirst, 1, 4);
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_DOUBLE_EQ(solo[0], total);
+}
+
+TEST(SuiteRunner, WorkerPerfCountsEveryJobOnce)
+{
+    const std::vector<SuiteLoop> suite = testSuite(8);
+    const Machine m = Machine::p2l4();
+    const std::vector<BatchJob> jobs = mixedGrid(suite.size());
+
+    // Perf counts every dispatched work item: the grid's jobs plus
+    // the chunk planner's per-distinct-loop bounds prefetch.
+    const long expected = long(jobs.size()) + long(suite.size());
+
+    SuiteRunner pooled(4);
+    (void)pooled.run(suite, m, jobs);
+    long jobsSeen = 0, claims = 0;
+    double schedule = 0;
+    for (const WorkerPerf &w : pooled.workerPerf()) {
+        jobsSeen += w.jobs;
+        claims += w.claims;
+        schedule += w.scheduleSeconds;
+        EXPECT_GE(w.memoWaitSeconds, 0.0);
+        EXPECT_GE(w.stealSeconds, 0.0);
+    }
+    EXPECT_EQ(jobsSeen, expected);
+    EXPECT_GE(claims, 1);
+    EXPECT_GT(schedule, 0.0);
+
+    pooled.resetWorkerPerf();
+    for (const WorkerPerf &w : pooled.workerPerf()) {
+        EXPECT_EQ(w.jobs, 0);
+        EXPECT_EQ(w.claims, 0);
+        EXPECT_EQ(w.scheduleSeconds, 0.0);
+    }
+
+    // The serial path accounts on worker slot 0.
+    SuiteRunner serial(1);
+    (void)serial.run(suite, m, jobs);
+    const std::vector<WorkerPerf> sp = serial.workerPerf();
+    ASSERT_EQ(sp.size(), 1u);
+    EXPECT_EQ(sp[0].jobs, expected);
+    EXPECT_EQ(sp[0].steals, 0);
+}
+
+TEST(SuiteRunner, ParseThreadsArgAcceptsAutoAndChecksRange)
+{
+    int out = -1;
+    EXPECT_TRUE(parseThreadsArg("auto", out));
+    EXPECT_EQ(out, 0); // 0 resolves to hardware_concurrency.
+    EXPECT_TRUE(parseThreadsArg("0", out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(parseThreadsArg("8", out));
+    EXPECT_EQ(out, 8);
+    out = 99;
+    EXPECT_FALSE(parseThreadsArg("", out));
+    EXPECT_FALSE(parseThreadsArg("eight", out));
+    EXPECT_FALSE(parseThreadsArg("-1", out));
+    EXPECT_FALSE(parseThreadsArg("8x", out));
+    EXPECT_FALSE(parseThreadsArg("1000000", out));
+    EXPECT_EQ(out, 99); // Failed parses leave the value untouched.
+}
+
 TEST(SuiteRunner, ResultsReferenceSuiteGraphsUnlessTransformed)
 {
     // The lean PipelineResult must not copy the input Ddg: an untouched
